@@ -1,0 +1,74 @@
+//! Ablation: the Merger's two-phase DS protocol (§6.2).
+//!
+//! With `P` Partitioners, DS Partitioners ship raw disjoint sets and the
+//! Merger re-unions them ("merge") instead of every Partitioner packing
+//! independently and the Merger repacking blindly ("naive"). This bench
+//! quantifies the cost of the faithful protocol against recomputing DS over
+//! the union of the window snapshots from scratch ("recompute") — the
+//! design alternative DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setcorr_core::{
+    disjoint_sets, partition_ds, AlgorithmKind, Merger, PartitionInput, PartitionerOutput,
+};
+use setcorr_model::{FxHashMap, TagSet, TagSetStat};
+
+/// Split a window into `p` field-grouped shares (as the topology does).
+fn shares(input: &PartitionInput, p: usize) -> Vec<Vec<TagSetStat>> {
+    let mut out = vec![Vec::new(); p];
+    for stat in &input.stats {
+        let h = setcorr_model::fx::hash_one(&stat.tags) as usize % p;
+        out[h].push(stat.clone());
+    }
+    out
+}
+
+fn merge_ablation(c: &mut Criterion) {
+    let input = setcorr_bench::fixtures::window_input(23, 20_000);
+    let mut group = c.benchmark_group("merge_ablation");
+    group.sample_size(20);
+    for &p in &[3usize, 10] {
+        let parts: Vec<PartitionInput> = shares(&input, p)
+            .into_iter()
+            .map(PartitionInput::from_stats)
+            .collect();
+        // Pre-compute the per-Partitioner disjoint sets (phase 1 output).
+        let outputs: Vec<PartitionerOutput> = parts
+            .iter()
+            .map(|pi| PartitionerOutput::DisjointSets(disjoint_sets(pi)))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("merge", p), &outputs, |b, outputs| {
+            b.iter(|| {
+                let mut merger = Merger::new(AlgorithmKind::Ds, 10);
+                merger.merge(outputs.clone(), &input).partitions.k()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", p), &input, |b, input| {
+            b.iter(|| partition_ds(input, 10).k())
+        });
+    }
+    group.finish();
+
+    // Sanity: the merged result must cover exactly what recompute covers.
+    let parts: Vec<PartitionInput> = shares(&input, 5)
+        .into_iter()
+        .map(PartitionInput::from_stats)
+        .collect();
+    let outputs: Vec<PartitionerOutput> = parts
+        .iter()
+        .map(|pi| PartitionerOutput::DisjointSets(disjoint_sets(pi)))
+        .collect();
+    let mut merger = Merger::new(AlgorithmKind::Ds, 10);
+    let merged = merger.merge(outputs, &input).partitions;
+    let mut missing: FxHashMap<&TagSet, ()> = FxHashMap::default();
+    for stat in &input.stats {
+        if !merged.covers(&stat.tags) {
+            missing.insert(&stat.tags, ());
+        }
+    }
+    assert!(missing.is_empty(), "merge lost coverage for {}", missing.len());
+}
+
+criterion_group!(benches, merge_ablation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Calculator hot path: subset counting (§3.1) and inclusion–exclusion
+//! reporting. Cost grows as `2^m − 1` per notification — the paper's
+//! feasibility argument rests on tweets carrying < 10 tags.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setcorr_core::Calculator;
+use setcorr_model::TagSet;
+
+fn bench_observe_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calculator_observe");
+    for m in [1usize, 2, 4, 8] {
+        let ts = TagSet::from_ids(&(0..m as u32).collect::<Vec<_>>());
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &ts, |b, ts| {
+            let mut calc = Calculator::new();
+            b.iter(|| calc.observe(ts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe_stream(c: &mut Criterion) {
+    // a realistic mix of notification sizes from the default workload
+    let docs: Vec<TagSet> = setcorr_bench::fixtures::stream(11, 20_000, 1300)
+        .into_iter()
+        .filter(|d| d.is_tagged())
+        .map(|d| d.tags)
+        .collect();
+    let mut group = c.benchmark_group("calculator_stream");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.bench_function("observe_mixed", |b| {
+        b.iter(|| {
+            let mut calc = Calculator::new();
+            for ts in &docs {
+                calc.observe(ts);
+            }
+            calc.tracked()
+        })
+    });
+    group.finish();
+}
+
+fn bench_report(c: &mut Criterion) {
+    let docs: Vec<TagSet> = setcorr_bench::fixtures::stream(11, 20_000, 1300)
+        .into_iter()
+        .filter(|d| d.is_tagged())
+        .map(|d| d.tags)
+        .collect();
+    let mut group = c.benchmark_group("calculator_report");
+    group.sample_size(20);
+    group.bench_function("report_and_reset", |b| {
+        b.iter_batched(
+            || {
+                let mut calc = Calculator::new();
+                for ts in &docs {
+                    calc.observe(ts);
+                }
+                calc
+            },
+            |mut calc| calc.report_and_reset(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_by_size, bench_observe_stream, bench_report);
+criterion_main!(benches);

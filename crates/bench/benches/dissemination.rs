@@ -1,0 +1,73 @@
+//! Disseminator routing throughput: inverted-index lookups per tagset
+//! (§3.3), the per-document critical path of the whole system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setcorr_bench::fixtures::window_input;
+use setcorr_core::{partition, AlgorithmKind, Disseminator, DisseminatorConfig, QualityReference};
+use setcorr_model::TagSet;
+
+fn routing(c: &mut Criterion) {
+    let input = window_input(13, 10_000);
+    let docs: Vec<TagSet> = setcorr_bench::fixtures::stream(14, 30_000, 1300)
+        .into_iter()
+        .filter(|d| d.is_tagged())
+        .map(|d| d.tags)
+        .collect();
+
+    let mut group = c.benchmark_group("dissemination");
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    for algorithm in [AlgorithmKind::Ds, AlgorithmKind::Scl] {
+        let parts = partition(algorithm, &input, 10, 42);
+        group.bench_with_input(
+            BenchmarkId::new("route", algorithm.name()),
+            &parts,
+            |b, parts| {
+                b.iter_batched(
+                    || {
+                        let mut d = Disseminator::new(10, DisseminatorConfig::default());
+                        d.install_partitions(
+                            parts,
+                            QualityReference {
+                                avg_com: 10.0,
+                                max_load: 1.0,
+                            },
+                        );
+                        d
+                    },
+                    |mut d| {
+                        let mut notifications = 0usize;
+                        for ts in &docs {
+                            notifications += d.route(ts).notifications.len();
+                        }
+                        notifications
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn index_build(c: &mut Criterion) {
+    let input = window_input(13, 10_000);
+    let parts = partition(AlgorithmKind::Ds, &input, 10, 42);
+    let mut group = c.benchmark_group("dissemination_install");
+    group.bench_function("install_partitions", |b| {
+        b.iter(|| {
+            let mut d = Disseminator::new(10, DisseminatorConfig::default());
+            d.install_partitions(
+                &parts,
+                QualityReference {
+                    avg_com: 1.0,
+                    max_load: 0.5,
+                },
+            );
+            d
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, routing, index_build);
+criterion_main!(benches);

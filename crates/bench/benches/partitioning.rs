@@ -1,0 +1,45 @@
+//! Wall-time of the four §4 partitioning algorithms over realistic windows.
+//!
+//! The paper requires partitioning to be cheap relative to the window it
+//! serves ("any partitioning computed will be valid/appropriate only for a
+//! short period", §2) — this bench quantifies the cost per algorithm and
+//! window size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setcorr_bench::fixtures::window_input;
+use setcorr_core::{partition, AlgorithmKind};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(20);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let input = window_input(7, n);
+        group.throughput(Throughput::Elements(input.len() as u64));
+        for algorithm in AlgorithmKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), n),
+                &input,
+                |b, input| b.iter(|| partition(algorithm, input, 10, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_partitioning_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning_k");
+    group.sample_size(20);
+    let input = window_input(7, 10_000);
+    for &k in &[5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("DS", k), &input, |b, input| {
+            b.iter(|| partition(AlgorithmKind::Ds, input, k, 42))
+        });
+        group.bench_with_input(BenchmarkId::new("SCC", k), &input, |b, input| {
+            b.iter(|| partition(AlgorithmKind::Scc, input, k, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning, bench_partitioning_k);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Union-find micro-benchmarks: the substrate of the DS algorithm and the
+//! Fig. 7 connectivity measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setcorr_bench::fixtures::window_input;
+use setcorr_core::{connected_components, UnionFind};
+
+fn unions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find");
+    for &n in &[1_000u32, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(n as usize);
+                for i in 0..n - 1 {
+                    uf.union(i, i + 1);
+                }
+                uf.set_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(n as usize);
+                for i in 1..n {
+                    uf.union(0, i);
+                }
+                uf.set_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connected_components");
+    group.sample_size(20);
+    for &n in &[5_000usize, 20_000] {
+        let input = window_input(17, n);
+        group.throughput(Throughput::Elements(input.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| connected_components(input).components.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, unions, components);
+criterion_main!(benches);

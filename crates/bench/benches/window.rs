@@ -1,0 +1,39 @@
+//! Sliding-window maintenance: insert/evict/snapshot costs at stream rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setcorr_model::{TagSetWindow, TimeDelta, WindowKind};
+
+fn window_ops(c: &mut Criterion) {
+    let docs = setcorr_bench::fixtures::stream(19, 50_000, 1300);
+    let tagged: Vec<_> = docs.into_iter().filter(|d| d.is_tagged()).collect();
+
+    let mut group = c.benchmark_group("window");
+    group.throughput(Throughput::Elements(tagged.len() as u64));
+    for (name, kind) in [
+        ("time_10s", WindowKind::Time(TimeDelta::from_secs(10))),
+        ("count_10k", WindowKind::Count(10_000)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("insert", name), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut w = TagSetWindow::new(kind);
+                for d in &tagged {
+                    w.insert(d.tags.clone(), d.timestamp);
+                }
+                w.live_docs()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("window_snapshot");
+    group.sample_size(30);
+    let mut w = TagSetWindow::time(TimeDelta::from_secs(20));
+    for d in &tagged {
+        w.insert(d.tags.clone(), d.timestamp);
+    }
+    group.bench_function("snapshot", |b| b.iter(|| w.snapshot().len()));
+    group.finish();
+}
+
+criterion_group!(benches, window_ops);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Generator throughput: the workload must outrun the pipeline so benches
+//! and experiments measure the system, not the data source.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use setcorr_workload::{Generator, WorkloadConfig};
+
+fn generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("generate_50k", |b| {
+        b.iter(|| {
+            Generator::new(WorkloadConfig::with_seed(1))
+                .take(50_000)
+                .filter(|d| d.is_tagged())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generate);
+criterion_main!(benches);

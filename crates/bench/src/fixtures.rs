@@ -1,0 +1,47 @@
+//! Shared fixtures for benchmarks and the experiment harness.
+
+use setcorr_core::PartitionInput;
+use setcorr_model::{Document, TagSetStat};
+use setcorr_workload::{Generator, WorkloadConfig};
+
+/// Generate `n` documents with the default workload at `tps`, seeded.
+pub fn stream(seed: u64, n: usize, tps: u64) -> Vec<Document> {
+    let mut config = WorkloadConfig::with_seed(seed);
+    config.tps = tps;
+    Generator::new(config).take(n).collect()
+}
+
+/// Build a [`PartitionInput`] from the first `n` *tagged* documents of a
+/// seeded default stream — the common partitioning-benchmark input.
+pub fn window_input(seed: u64, n: usize) -> PartitionInput {
+    let stats: Vec<TagSetStat> = Generator::new(WorkloadConfig::with_seed(seed))
+        .filter(|d| d.is_tagged())
+        .take(n)
+        .map(|d| TagSetStat {
+            tags: d.tags,
+            count: 1,
+        })
+        .collect();
+    PartitionInput::from_stats(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_respects_length_and_tps() {
+        let docs = stream(1, 1000, 2600);
+        assert_eq!(docs.len(), 1000);
+        // 1000 docs at 2600 tps ≈ 384 ms of event time
+        assert!(docs.last().unwrap().timestamp.millis() < 400);
+    }
+
+    #[test]
+    fn window_input_is_tagged_only() {
+        let input = window_input(2, 500);
+        assert!(input.len() <= 500);
+        assert!(input.total_docs >= input.len() as u64);
+        assert!(input.stats.iter().all(|s| !s.tags.is_empty()));
+    }
+}

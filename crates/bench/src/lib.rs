@@ -1,0 +1,12 @@
+//! # setcorr-bench
+//!
+//! The experiment harness regenerating every table and figure of §8, plus
+//! shared fixtures for the Criterion micro-benchmarks.
+//!
+//! The `experiments` binary (`cargo run -p setcorr-bench --release --bin
+//! experiments -- <fig>`) drives [`harness`]; each figure renderer prints the
+//! same rows/series the paper plots and appends machine-readable JSON to
+//! `results/`.
+
+pub mod fixtures;
+pub mod harness;

@@ -1,0 +1,173 @@
+//! Disjoint Sets algorithm (Algorithm 1, §4.1).
+//!
+//! Phase 1 identifies the connected components ("disjoint sets") of the tag
+//! graph; phase 2 packs them into `k` partitions: while fresh partitions
+//! remain, the heaviest unassigned set opens a new partition; afterwards each
+//! set joins the currently least-loaded partition (longest-processing-time
+//! bin packing). Because components are never split, no tag is ever
+//! replicated — DS has optimal communication by construction — but one huge
+//! component ruins the load balance (§5.1, §8.3).
+//!
+//! The split of the two phases is exactly what the Merger needs (§6.2): with
+//! `P` Partitioners, each runs only [`disjoint_sets`] over its share of the
+//! window and the Merger combines them (re-unioning sets that share tags)
+//! before running [`pack_sets`].
+
+use crate::graph::connected_components;
+use crate::input::PartitionInput;
+use crate::partition::PartitionSet;
+use setcorr_model::Tag;
+
+/// A tag group with its document load — a disjoint set `ds_j` with `l_j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedTagList {
+    /// Sorted member tags.
+    pub tags: Vec<Tag>,
+    /// Documents annotated with any member tag.
+    pub load: u64,
+}
+
+/// Phase 1 (Alg. 1 lines 2–7): the connected components of the window's tag
+/// graph, heaviest first.
+pub fn disjoint_sets(input: &PartitionInput) -> Vec<WeightedTagList> {
+    connected_components(input)
+        .components
+        .into_iter()
+        .map(|c| WeightedTagList {
+            tags: c.tags,
+            load: c.docs,
+        })
+        .collect()
+}
+
+/// Phase 2 (Alg. 1 lines 8–19): pack disjoint sets into `k` partitions.
+///
+/// `sets` need not be pre-sorted; packing always proceeds heaviest-first
+/// (ties broken by smallest first tag for determinism).
+pub fn pack_sets(mut sets: Vec<WeightedTagList>, k: usize) -> PartitionSet {
+    assert!(k >= 1);
+    sets.sort_unstable_by(|a, b| {
+        b.load
+            .cmp(&a.load)
+            .then_with(|| a.tags.first().cmp(&b.tags.first()))
+    });
+    let mut parts = PartitionSet::empty(k);
+    for (i, set) in sets.into_iter().enumerate() {
+        let target = if i < k {
+            // "if k > 0: pr_k = ds_i" — open a fresh partition
+            i
+        } else {
+            // "pr_i = argmin_j Σ load" — join the least-loaded one
+            parts
+                .parts
+                .iter()
+                .enumerate()
+                .min_by_key(|(idx, p)| (p.load, *idx))
+                .map(|(idx, _)| idx)
+                .expect("k >= 1")
+        };
+        parts.parts[target].absorb_tags(&set.tags, set.load);
+    }
+    parts
+}
+
+/// The full DS algorithm: components, then packing.
+pub fn partition_ds(input: &PartitionInput, k: usize) -> PartitionSet {
+    pack_sets(disjoint_sets(input), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::tests::input;
+    use setcorr_model::TagSet;
+
+    #[test]
+    fn zero_replication_by_construction() {
+        let inp = input(&[
+            (&[0, 1, 2], 10),
+            (&[1, 3], 4),
+            (&[0, 4], 3),
+            (&[5, 2], 1),
+            (&[6, 7], 2),
+            (&[8, 7], 1),
+            (&[9], 5),
+        ]);
+        for k in 1..=4 {
+            let ps = partition_ds(&inp, k);
+            assert!(
+                (ps.replication_factor() - 1.0).abs() < 1e-12,
+                "k={k}: replication {}",
+                ps.replication_factor()
+            );
+            assert_eq!(ps.evaluate(&inp).uncovered_tagsets, 0);
+        }
+    }
+
+    #[test]
+    fn heaviest_components_open_partitions() {
+        // three components with loads 18, 3, 5 → k=2: 18 alone, 5+3 together
+        let inp = input(&[
+            (&[0, 1, 2], 10),
+            (&[1, 3], 4),
+            (&[0, 4], 3),
+            (&[5, 2], 1),
+            (&[6, 7], 2),
+            (&[8, 7], 1),
+            (&[9], 5),
+        ]);
+        let ps = partition_ds(&inp, 2);
+        let mut loads: Vec<u64> = ps.parts.iter().map(|p| p.load).collect();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![8, 18]);
+    }
+
+    #[test]
+    fn fewer_components_than_k_leaves_empty_partitions() {
+        let inp = input(&[(&[1, 2], 3)]);
+        let ps = partition_ds(&inp, 3);
+        let non_empty = ps.parts.iter().filter(|p| !p.tags.is_empty()).count();
+        assert_eq!(non_empty, 1);
+        assert!(ps.covers(&TagSet::from_ids(&[1, 2])));
+    }
+
+    #[test]
+    fn lpt_packing_balances() {
+        // loads 10, 9, 8, 7, 2, 1 into k=2. LPT trace: p0←10, p1←9, p1←8
+        // (17), p0←7 (17), p0←2 (tie → lowest id, 19), p1←1 (18).
+        let sets: Vec<WeightedTagList> = [(0u32, 10u64), (1, 9), (2, 8), (3, 7), (4, 2), (5, 1)]
+            .iter()
+            .map(|&(t, l)| WeightedTagList {
+                tags: vec![Tag(t)],
+                load: l,
+            })
+            .collect();
+        let ps = pack_sets(sets, 2);
+        let mut loads: Vec<u64> = ps.parts.iter().map(|p| p.load).collect();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![18, 19]);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let inp = input(&[(&[1, 2], 5), (&[3, 4], 5), (&[5], 5), (&[6], 5)]);
+        let a = partition_ds(&inp, 2);
+        let b = partition_ds(&inp, 2);
+        for (pa, pb) in a.parts.iter().zip(&b.parts) {
+            let mut ta: Vec<Tag> = pa.tags.iter().copied().collect();
+            let mut tb: Vec<Tag> = pb.tags.iter().copied().collect();
+            ta.sort_unstable();
+            tb.sort_unstable();
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_loads_match_component_docs() {
+        let inp = input(&[(&[1, 2], 7), (&[2, 3], 2), (&[4], 4)]);
+        let sets = disjoint_sets(&inp);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].load, 9);
+        assert_eq!(sets[1].load, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! DS+SCL hybrid — the paper's "lesson learned" made concrete.
+//!
+//! §8.3: *"Ultimately, disjoint sets should form the basis of all
+//! partitioning algorithms, but large ones need to be split (to not impair
+//! the load balancing), for instance by applying set-cover–based algorithms
+//! like SCL."* The paper leaves this as an outlook; this module implements
+//! it:
+//!
+//! 1. find the connected components (like DS),
+//! 2. any component whose load exceeds `max_share` of the window is split
+//!    with SCL into just enough sub-partitions to get each piece under the
+//!    target (tagsets stay whole, so coverage is preserved; only the split
+//!    components pay replication),
+//! 3. LPT-pack all pieces into `k` partitions.
+//!
+//! On subcritical windows this degenerates to exactly DS (zero replication);
+//! on supercritical windows it trades a little communication for the load
+//! balance DS cannot achieve.
+
+use crate::algorithms::ds::{pack_sets, WeightedTagList};
+use crate::algorithms::setcover::{partition_setcover_groups, SetCoverVariant};
+use crate::graph::connected_components;
+use crate::input::PartitionInput;
+use crate::partition::PartitionSet;
+use setcorr_model::Tag;
+
+/// Run the DS+SCL hybrid.
+///
+/// `max_share` is the largest window-load fraction a single piece may carry
+/// before it gets split; `1.0 / k as f64` aims at perfectly balanceable
+/// pieces, larger values split more reluctantly. `seed` feeds the SCL
+/// sub-splits (deterministic; SCL itself is deterministic, the seed is kept
+/// for signature symmetry with the other algorithms).
+pub fn partition_ds_scl(
+    input: &PartitionInput,
+    k: usize,
+    max_share: f64,
+    seed: u64,
+) -> PartitionSet {
+    assert!(k >= 1);
+    assert!(max_share > 0.0 && max_share <= 1.0, "share must be in (0,1]");
+    let components = connected_components(input);
+    let threshold = (input.total_docs as f64 * max_share).max(1.0) as u64;
+
+    let mut pieces: Vec<WeightedTagList> = Vec::with_capacity(components.components.len());
+    for component in components.components {
+        if component.docs <= threshold {
+            pieces.push(WeightedTagList {
+                tags: component.tags,
+                load: component.docs,
+            });
+            continue;
+        }
+        // Split the oversized component with SCL into enough sub-partitions
+        // that each targets ≤ threshold load. Loads here are the per-tagset
+        // l_j values, whose per-partition sums over-count shared documents —
+        // the right currency for SCL's balancing rule.
+        let items: Vec<WeightedTagList> = component
+            .tagsets
+            .iter()
+            .map(|&idx| WeightedTagList {
+                tags: input.stats[idx as usize].tags.tags().to_vec(),
+                load: input.loads[idx as usize],
+            })
+            .collect();
+        let sub_k = ((component.docs + threshold - 1) / threshold).max(2) as usize;
+        let split = partition_setcover_groups(items, sub_k.min(k.max(2)), SetCoverVariant::Load, seed);
+        for p in split.parts {
+            if p.tags.is_empty() {
+                continue;
+            }
+            let mut tags: Vec<Tag> = p.tags.into_iter().collect();
+            tags.sort_unstable();
+            pieces.push(WeightedTagList { tags, load: p.load });
+        }
+    }
+    pack_sets(pieces, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{partition_ds, tests::input};
+    use setcorr_metrics::gini;
+    use setcorr_model::TagSet;
+
+    /// A window with one dominant star component plus satellites.
+    fn giant_window() -> PartitionInput {
+        let mut specs: Vec<(Vec<u32>, u64)> = Vec::new();
+        for i in 1..=30u32 {
+            specs.push((vec![0, i], 10)); // star around hub tag 0: 300 docs
+        }
+        for i in 0..6u32 {
+            specs.push((vec![100 + 2 * i, 101 + 2 * i], 5)); // small pairs
+        }
+        let refs: Vec<(&[u32], u64)> = specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
+        input(&refs)
+    }
+
+    #[test]
+    fn subcritical_windows_reduce_to_ds() {
+        // disconnected small components, none above the threshold
+        let inp = input(&[(&[1, 2], 5), (&[3, 4], 5), (&[5], 5), (&[6, 7], 4)]);
+        let hybrid = partition_ds_scl(&inp, 2, 0.5, 42);
+        assert!((hybrid.replication_factor() - 1.0).abs() < 1e-12);
+        let ds = partition_ds(&inp, 2);
+        let q_h = hybrid.evaluate(&inp);
+        let q_d = ds.evaluate(&inp);
+        assert_eq!(q_h.uncovered_tagsets, 0);
+        assert!((q_h.avg_communication - q_d.avg_communication).abs() < 1e-12);
+    }
+
+    #[test]
+    fn giant_component_gets_split_for_balance() {
+        let inp = giant_window();
+        let k = 4;
+        let ds = partition_ds(&inp, k).evaluate(&inp);
+        let hybrid = partition_ds_scl(&inp, k, 1.0 / k as f64, 42).evaluate(&inp);
+        assert_eq!(hybrid.uncovered_tagsets, 0, "coverage must be preserved");
+        assert!(
+            gini(&hybrid.load_shares) < gini(&ds.load_shares),
+            "hybrid gini {} must beat DS gini {}",
+            gini(&hybrid.load_shares),
+            gini(&ds.load_shares)
+        );
+        assert!(
+            hybrid.avg_communication > ds.avg_communication,
+            "splitting must cost some replication"
+        );
+        assert!(
+            hybrid.avg_communication < k as f64,
+            "but far less than broadcasting"
+        );
+    }
+
+    #[test]
+    fn coverage_invariant_under_splits() {
+        let inp = giant_window();
+        for k in [2usize, 3, 5] {
+            let parts = partition_ds_scl(&inp, k, 1.0 / k as f64, 7);
+            for stat in &inp.stats {
+                assert!(parts.covers(&stat.tags), "k={k}: {:?} uncovered", stat.tags);
+            }
+        }
+    }
+
+    #[test]
+    fn max_share_one_never_splits() {
+        let inp = giant_window();
+        let hybrid = partition_ds_scl(&inp, 3, 1.0, 9);
+        assert!((hybrid.replication_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window() {
+        let inp = input(&[]);
+        let parts = partition_ds_scl(&inp, 3, 0.25, 0);
+        assert_eq!(parts.k(), 3);
+        assert!(parts.covers(&TagSet::empty()));
+    }
+}

@@ -1,0 +1,256 @@
+//! The partitioning algorithms of §4.
+//!
+//! All four algorithms consume a [`PartitionInput`] and produce `k` tag
+//! partitions satisfying the coverage requirement (`∀ s_i ∃ pr_j : s_i ⊆
+//! pr_j`), differing in what they trade off:
+//!
+//! * [`AlgorithmKind::Ds`] — Disjoint Sets (Alg. 1): connected components
+//!   packed LPT-style; zero tag replication by construction.
+//! * [`AlgorithmKind::Scc`] — Set-Cover, Communication (Alg. 2 + 3).
+//! * [`AlgorithmKind::Scl`] — Set-Cover, Load (Alg. 2 + 4).
+//! * [`AlgorithmKind::Sci`] — the earlier DBSocial'13 variant (Alg. 2 with
+//!   zero costs + Alg. 5, random assignment order).
+
+mod ds;
+mod hybrid;
+mod setcover;
+
+pub use ds::{disjoint_sets, pack_sets, partition_ds, WeightedTagList};
+pub use hybrid::partition_ds_scl;
+pub use setcover::{partition_setcover, partition_setcover_groups, SetCoverVariant};
+
+use crate::input::PartitionInput;
+use crate::partition::{CalcId, PartitionSet};
+use setcorr_model::TagSet;
+
+/// Which §4 algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Disjoint Sets (§4.1).
+    Ds,
+    /// Set-Cover optimising communication (§4.2, SCC).
+    Scc,
+    /// Set-Cover optimising processing load (§4.2, SCL).
+    Scl,
+    /// Set-Cover as in the prior work \[1\] (§4.2, SCI).
+    Sci,
+}
+
+impl AlgorithmKind {
+    /// All four algorithms, in the order the paper's figures list them.
+    pub const ALL: [AlgorithmKind; 4] = [
+        AlgorithmKind::Ds,
+        AlgorithmKind::Sci,
+        AlgorithmKind::Scc,
+        AlgorithmKind::Scl,
+    ];
+
+    /// Short display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Ds => "DS",
+            AlgorithmKind::Scc => "SCC",
+            AlgorithmKind::Scl => "SCL",
+            AlgorithmKind::Sci => "SCI",
+        }
+    }
+
+    /// Parse from the display name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AlgorithmKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "DS" => Some(AlgorithmKind::Ds),
+            "SCC" => Some(AlgorithmKind::Scc),
+            "SCL" => Some(AlgorithmKind::Scl),
+            "SCI" => Some(AlgorithmKind::Sci),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run `kind` over `input`, producing `k` partitions.
+///
+/// `seed` only affects [`AlgorithmKind::Sci`] (its phase 2 draws tagsets at
+/// random); the other algorithms are fully deterministic.
+pub fn partition(kind: AlgorithmKind, input: &PartitionInput, k: usize, seed: u64) -> PartitionSet {
+    assert!(k >= 1, "need at least one partition");
+    match kind {
+        AlgorithmKind::Ds => partition_ds(input, k),
+        AlgorithmKind::Scc => partition_setcover(input, k, SetCoverVariant::Communication, seed),
+        AlgorithmKind::Scl => partition_setcover(input, k, SetCoverVariant::Load, seed),
+        AlgorithmKind::Sci => partition_setcover(input, k, SetCoverVariant::Independent, seed),
+    }
+}
+
+/// The partition a Single Addition (§7.1) should place `ts` into.
+///
+/// DS, SCC and SCI pick the partition minimising the increase in
+/// communication — i.e. the one already sharing the most tags with `ts`
+/// (ties: least load, then lowest id). SCL keeps load balanced: least-loaded
+/// partition, ties broken by most shared tags.
+pub fn best_partition_for_addition(
+    kind: AlgorithmKind,
+    ts: &TagSet,
+    parts: &PartitionSet,
+) -> CalcId {
+    best_partition_for_addition_among(kind, ts, &parts.parts)
+}
+
+/// [`best_partition_for_addition`] restricted to a slice of candidate
+/// partitions (used by §7.3 elastic scaling, where only the *active*
+/// partitions may receive additions).
+pub fn best_partition_for_addition_among(
+    kind: AlgorithmKind,
+    ts: &TagSet,
+    parts: &[crate::partition::Partition],
+) -> CalcId {
+    assert!(!parts.is_empty(), "no partitions exist");
+    match kind {
+        AlgorithmKind::Ds | AlgorithmKind::Scc | AlgorithmKind::Sci => {
+            choose_max_overlap_min_load(parts, ts)
+        }
+        AlgorithmKind::Scl => choose_min_load_max_overlap(parts, ts),
+    }
+}
+
+/// `argmax_j |ts ∩ pr_j|`, ties by least partition load, then lowest id.
+pub(crate) fn choose_max_overlap_min_load(
+    parts: &[crate::partition::Partition],
+    ts: &TagSet,
+) -> CalcId {
+    let mut best = 0usize;
+    let mut best_key = (0usize, u64::MAX);
+    for (i, p) in parts.iter().enumerate() {
+        let key = (p.overlap(ts), p.load);
+        // larger overlap wins; equal overlap → smaller load wins
+        if key.0 > best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1) {
+            best = i;
+            best_key = key;
+        }
+    }
+    best
+}
+
+/// `argmin_j load(pr_j)`, ties by most shared tags, then lowest id.
+pub(crate) fn choose_min_load_max_overlap(
+    parts: &[crate::partition::Partition],
+    ts: &TagSet,
+) -> CalcId {
+    let mut best = 0usize;
+    let mut best_key = (u64::MAX, 0usize);
+    for (i, p) in parts.iter().enumerate() {
+        let key = (p.load, p.overlap(ts));
+        if key.0 < best_key.0 || (key.0 == best_key.0 && key.1 > best_key.1) {
+            best = i;
+            best_key = key;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+    use setcorr_model::TagSetStat;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    pub(crate) fn input(specs: &[(&[u32], u64)]) -> PartitionInput {
+        PartitionInput::from_stats(
+            specs
+                .iter()
+                .map(|(ids, c)| TagSetStat {
+                    tags: ts(ids),
+                    count: *c,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(AlgorithmKind::parse("ds"), Some(AlgorithmKind::Ds));
+        assert_eq!(AlgorithmKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_algorithm_satisfies_coverage() {
+        let inp = input(&[
+            (&[0, 1, 2], 10),
+            (&[1, 3], 4),
+            (&[0, 4], 3),
+            (&[5, 2], 1),
+            (&[6, 7], 2),
+            (&[8, 7], 1),
+            (&[9], 6),
+            (&[10, 11, 12], 2),
+        ]);
+        for kind in AlgorithmKind::ALL {
+            for k in [1usize, 2, 3, 5] {
+                let ps = partition(kind, &inp, k, 42);
+                assert_eq!(ps.k(), k, "{kind} k={k}");
+                let q = ps.evaluate(&inp);
+                assert_eq!(q.uncovered_tagsets, 0, "{kind} k={k} left tagsets uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_partitions() {
+        for kind in AlgorithmKind::ALL {
+            let ps = partition(kind, &input(&[]), 3, 0);
+            assert_eq!(ps.k(), 3);
+            assert!(ps.parts.iter().all(|p| p.tags.is_empty()));
+        }
+    }
+
+    #[test]
+    fn addition_rules_differ_between_scl_and_others() {
+        let mut heavy = Partition::new();
+        heavy.absorb(&ts(&[1, 2, 3]), 100);
+        let mut light = Partition::new();
+        light.absorb(&ts(&[9]), 1);
+        let parts = PartitionSet {
+            parts: vec![heavy, light],
+        };
+        let new_ts = ts(&[2, 3, 4]);
+        // communication-minded: join the overlapping heavy partition
+        for kind in [AlgorithmKind::Ds, AlgorithmKind::Scc, AlgorithmKind::Sci] {
+            assert_eq!(best_partition_for_addition(kind, &new_ts, &parts), 0);
+        }
+        // load-minded: join the light partition despite zero overlap
+        assert_eq!(
+            best_partition_for_addition(AlgorithmKind::Scl, &new_ts, &parts),
+            1
+        );
+    }
+
+    #[test]
+    fn overlap_tie_breaks_by_load() {
+        let mut a = Partition::new();
+        a.absorb(&ts(&[1]), 50);
+        let mut b = Partition::new();
+        b.absorb(&ts(&[2]), 10);
+        let parts = PartitionSet { parts: vec![a, b] };
+        // zero overlap with both → lighter partition wins
+        assert_eq!(choose_max_overlap_min_load(&parts.parts, &ts(&[7])), 1);
+        // min-load rule with equal loads → overlap wins
+        let mut c = Partition::new();
+        c.absorb(&ts(&[5]), 10);
+        let mut d = Partition::new();
+        d.absorb(&ts(&[6]), 10);
+        let parts = PartitionSet { parts: vec![c, d] };
+        assert_eq!(choose_min_load_max_overlap(&parts.parts, &ts(&[6])), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Calculator operator's counting state (§3.1, §6.2).
+//!
+//! A Calculator receives notification tagsets (the subset of a document's
+//! tags it has been assigned) and maintains one occurrence counter per
+//! non-empty subset of every received tagset: `count[T]` = number of received
+//! documents annotated with *all* tags of `T`, i.e. `|⋂_{t∈T} T_t|`.
+//!
+//! Every report period it emits, for each tracked tagset of ≥ 2 tags, the
+//! Jaccard coefficient (Eq. 1)
+//!
+//! `J(s) = |⋂ T_t| / |⋃ T_t|`
+//!
+//! where the union cardinality comes from inclusion–exclusion (Eq. 2) over
+//! the subset counters, then clears all counters.
+
+use setcorr_model::{FxHashMap, TagSet};
+
+/// One reported coefficient: `(s_i, J(s_i), CN(s_i))` as emitted to the
+/// Tracker (§6.2). `CN` is the raw intersection counter, used by the Tracker
+/// to arbitrate duplicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientReport {
+    /// The co-occurring tagset.
+    pub tags: TagSet,
+    /// Its Jaccard coefficient, in `(0, 1]`.
+    pub jaccard: f64,
+    /// The counter value `CN(s_i)` (documents containing all tags).
+    pub counter: u64,
+}
+
+/// Counting state of one Calculator.
+#[derive(Debug, Default, Clone)]
+pub struct Calculator {
+    counters: FxHashMap<TagSet, u64>,
+    /// Notifications received in the current report period.
+    received: u64,
+}
+
+impl Calculator {
+    /// Fresh, empty calculator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one notification: bump the counter of every non-empty subset.
+    ///
+    /// A notification of `m` tags costs `2^m − 1` map updates; `m` is small
+    /// by the data's nature (< 10 tags/tweet) and bounded by
+    /// [`setcorr_model::MAX_TAGS_PER_SET`].
+    pub fn observe(&mut self, notification: &TagSet) {
+        if notification.is_empty() {
+            return;
+        }
+        self.received += 1;
+        for mask in notification.subset_masks() {
+            *self.counters.entry(notification.subset(mask)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of distinct subset counters currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Notifications received this report period.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Raw counter for `ts` (0 if never seen).
+    pub fn counter(&self, ts: &TagSet) -> u64 {
+        self.counters.get(ts).copied().unwrap_or(0)
+    }
+
+    /// `|⋃_{t ∈ ts} T_t|` by inclusion–exclusion over the subset counters.
+    ///
+    /// Exact as long as this Calculator received every document containing
+    /// any tag of `ts` — guaranteed when `ts` lies inside its partition.
+    pub fn union_count(&self, ts: &TagSet) -> u64 {
+        let mut union: i64 = 0;
+        for mask in ts.subset_masks() {
+            let c = self.counter(&ts.subset(mask)) as i64;
+            if mask.count_ones() % 2 == 1 {
+                union += c;
+            } else {
+                union -= c;
+            }
+        }
+        debug_assert!(union >= 0, "inclusion–exclusion went negative");
+        union.max(0) as u64
+    }
+
+    /// The Jaccard coefficient of `ts`, or `None` if `ts` was never observed
+    /// (or is trivial: fewer than 2 tags).
+    pub fn jaccard(&self, ts: &TagSet) -> Option<f64> {
+        if ts.len() < 2 {
+            return None;
+        }
+        let inter = self.counter(ts);
+        if inter == 0 {
+            return None;
+        }
+        let union = self.union_count(ts);
+        debug_assert!(union >= inter);
+        Some(inter as f64 / union as f64)
+    }
+
+    /// Emit coefficients for every tracked tagset with ≥ 2 tags and clear all
+    /// counters (the "every y time units" step of §6.2). Output is sorted by
+    /// tagset for determinism.
+    pub fn report_and_reset(&mut self) -> Vec<CoefficientReport> {
+        let mut out: Vec<CoefficientReport> = Vec::new();
+        let mut keys: Vec<&TagSet> = self.counters.keys().filter(|t| t.len() >= 2).collect();
+        keys.sort_unstable();
+        for ts in keys {
+            let inter = self.counters[ts];
+            let union = self.union_count(ts);
+            out.push(CoefficientReport {
+                tags: ts.clone(),
+                jaccard: inter as f64 / union as f64,
+                counter: inter,
+            });
+        }
+        self.counters.clear();
+        self.received = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    /// Brute-force Jaccard from explicit document tagsets.
+    fn brute_jaccard(docs: &[&[u32]], query: &[u32]) -> Option<f64> {
+        let q: Vec<u32> = query.to_vec();
+        let inter = docs
+            .iter()
+            .filter(|d| q.iter().all(|t| d.contains(t)))
+            .count();
+        let union = docs
+            .iter()
+            .filter(|d| q.iter().any(|t| d.contains(t)))
+            .count();
+        (inter > 0).then(|| inter as f64 / union as f64)
+    }
+
+    #[test]
+    fn paper_example_subsets_are_counted() {
+        // §6.2: receiving ({a,b,c}) must create counters for {a,b,c},{b,c},
+        // {a,b},{a,c} and the singletons.
+        let mut c = Calculator::new();
+        c.observe(&ts(&[1, 2, 3]));
+        assert_eq!(c.tracked(), 7);
+        for sub in [&[1][..], &[2], &[3], &[1, 2], &[1, 3], &[2, 3], &[1, 2, 3]] {
+            assert_eq!(c.counter(&ts(sub)), 1, "{sub:?}");
+        }
+    }
+
+    #[test]
+    fn jaccard_matches_brute_force() {
+        let docs: &[&[u32]] = &[
+            &[1, 2],
+            &[1, 2, 3],
+            &[2, 3],
+            &[1],
+            &[3],
+            &[1, 2],
+            &[4],
+            &[1, 4],
+        ];
+        let mut c = Calculator::new();
+        for d in docs {
+            c.observe(&ts(d));
+        }
+        for query in [&[1, 2][..], &[2, 3], &[1, 3], &[1, 2, 3], &[1, 4]] {
+            let expected = brute_jaccard(docs, query).unwrap();
+            let got = c.jaccard(&ts(query)).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "{query:?}: got {got}, want {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn jaccard_of_unseen_or_trivial_is_none() {
+        let mut c = Calculator::new();
+        c.observe(&ts(&[1, 2]));
+        assert_eq!(c.jaccard(&ts(&[1])), None, "singletons are trivial");
+        assert_eq!(c.jaccard(&ts(&[8, 9])), None, "never seen");
+        assert_eq!(c.jaccard(&ts(&[1, 3])), None, "tags never co-occurred");
+    }
+
+    #[test]
+    fn perfect_correlation_is_one() {
+        let mut c = Calculator::new();
+        for _ in 0..5 {
+            c.observe(&ts(&[1, 2]));
+        }
+        assert_eq!(c.jaccard(&ts(&[1, 2])), Some(1.0));
+    }
+
+    #[test]
+    fn union_via_inclusion_exclusion_three_way() {
+        // docs: {a,b,c} ×2, {a} ×1, {b,c} ×3 → |a∪b∪c| = 6
+        let mut c = Calculator::new();
+        c.observe(&ts(&[1, 2, 3]));
+        c.observe(&ts(&[1, 2, 3]));
+        c.observe(&ts(&[1]));
+        c.observe(&ts(&[2, 3]));
+        c.observe(&ts(&[2, 3]));
+        c.observe(&ts(&[2, 3]));
+        assert_eq!(c.union_count(&ts(&[1, 2, 3])), 6);
+        assert_eq!(c.counter(&ts(&[1, 2, 3])), 2);
+        assert_eq!(c.jaccard(&ts(&[1, 2, 3])), Some(2.0 / 6.0));
+    }
+
+    #[test]
+    fn report_emits_pairs_and_larger_then_clears() {
+        let mut c = Calculator::new();
+        c.observe(&ts(&[1, 2, 3]));
+        c.observe(&ts(&[4]));
+        let reports = c.report_and_reset();
+        // subsets of size ≥2: {1,2},{1,3},{2,3},{1,2,3}
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.tags.len() >= 2));
+        assert!(reports.iter().all(|r| r.jaccard > 0.0 && r.jaccard <= 1.0));
+        assert_eq!(c.tracked(), 0);
+        assert_eq!(c.received(), 0);
+        assert!(c.report_and_reset().is_empty());
+    }
+
+    #[test]
+    fn report_is_sorted_and_carries_counters() {
+        let mut c = Calculator::new();
+        c.observe(&ts(&[5, 6]));
+        c.observe(&ts(&[5, 6]));
+        c.observe(&ts(&[1, 2]));
+        let reports = c.report_and_reset();
+        assert_eq!(reports[0].tags, ts(&[1, 2]));
+        assert_eq!(reports[0].counter, 1);
+        assert_eq!(reports[1].tags, ts(&[5, 6]));
+        assert_eq!(reports[1].counter, 2);
+    }
+
+    #[test]
+    fn empty_notifications_are_ignored() {
+        let mut c = Calculator::new();
+        c.observe(&TagSet::empty());
+        assert_eq!(c.tracked(), 0);
+        assert_eq!(c.received(), 0);
+    }
+
+    #[test]
+    fn randomised_against_brute_force() {
+        // deterministic pseudo-random doc mix over 6 tags
+        let mut state = 0xC0FFEEu64;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut docs: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..200 {
+            let mut d: Vec<u32> = Vec::new();
+            for t in 0..6u32 {
+                if rnd() % 3 == 0 {
+                    d.push(t);
+                }
+            }
+            if !d.is_empty() {
+                docs.push(d);
+            }
+        }
+        let mut c = Calculator::new();
+        for d in &docs {
+            c.observe(&ts(d));
+        }
+        let doc_refs: Vec<&[u32]> = docs.iter().map(|d| d.as_slice()).collect();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                let expected = brute_jaccard(&doc_refs, &[a, b]);
+                let got = c.jaccard(&ts(&[a, b]));
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(e), Some(g)) => {
+                        assert!((e - g).abs() < 1e-12, "({a},{b}): {g} vs {e}")
+                    }
+                    other => panic!("({a},{b}): mismatch {other:?}"),
+                }
+            }
+        }
+    }
+}

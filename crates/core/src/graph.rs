@@ -1,0 +1,225 @@
+//! The tagset graph and its connected components.
+//!
+//! §4 models partitioning on a graph whose vertices are tagsets with edges
+//! between tag-sharing tagsets. Its connected components are equivalently the
+//! components of the *tag* graph (vertices = tags, one clique per tagset),
+//! which is how we compute them: a union-find over the window's tags.
+//!
+//! This module powers the DS algorithm (§4.1) and the connectivity
+//! measurements of Fig. 7.
+
+use crate::input::PartitionInput;
+use crate::union_find::UnionFind;
+use setcorr_model::{FxHashMap, Tag};
+
+/// One connected component ("disjoint set" `ds_j` of §4.1).
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Tags of the component, sorted.
+    pub tags: Vec<Tag>,
+    /// Indices into `PartitionInput::stats` of the member tagsets.
+    pub tagsets: Vec<u32>,
+    /// Load `l_j`: window documents annotated with any member tag — since a
+    /// component absorbs whole tagsets, this is the sum of member counts.
+    pub docs: u64,
+}
+
+/// All connected components of a window, ordered by descending load and then
+/// by smallest tag (deterministic).
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// The components.
+    pub components: Vec<Component>,
+    /// Total documents in the window (denominator for shares).
+    pub total_docs: u64,
+    /// Total distinct tags in the window.
+    pub total_tags: usize,
+}
+
+/// Compute the connected components of the window's tag graph.
+pub fn connected_components(input: &PartitionInput) -> Components {
+    // Dense-map the window's tags.
+    let mut tag_idx: FxHashMap<Tag, u32> = FxHashMap::default();
+    let mut tags_dense: Vec<Tag> = Vec::new();
+    for stat in &input.stats {
+        for t in &stat.tags {
+            tag_idx.entry(t).or_insert_with(|| {
+                tags_dense.push(t);
+                (tags_dense.len() - 1) as u32
+            });
+        }
+    }
+
+    let mut uf = UnionFind::new(tags_dense.len());
+    for stat in &input.stats {
+        let mut it = stat.tags.iter();
+        if let Some(first) = it.next() {
+            let f = tag_idx[&first];
+            for t in it {
+                uf.union(f, tag_idx[&t]);
+            }
+        }
+    }
+
+    // Group tags and tagsets by root.
+    let mut by_root: FxHashMap<u32, Component> = FxHashMap::default();
+    for (dense, &tag) in tags_dense.iter().enumerate() {
+        let root = uf.find(dense as u32);
+        by_root
+            .entry(root)
+            .or_insert_with(|| Component {
+                tags: Vec::new(),
+                tagsets: Vec::new(),
+                docs: 0,
+            })
+            .tags
+            .push(tag);
+    }
+    for (j, stat) in input.stats.iter().enumerate() {
+        let first = stat.tags.tags()[0];
+        let root = uf.find(tag_idx[&first]);
+        let comp = by_root.get_mut(&root).expect("root exists");
+        comp.tagsets.push(j as u32);
+        comp.docs += stat.count;
+    }
+
+    let mut components: Vec<Component> = by_root.into_values().collect();
+    for c in &mut components {
+        c.tags.sort_unstable();
+        c.tagsets.sort_unstable();
+    }
+    components.sort_unstable_by(|a, b| {
+        b.docs
+            .cmp(&a.docs)
+            .then_with(|| a.tags.first().cmp(&b.tags.first()))
+    });
+
+    Components {
+        components,
+        total_docs: input.total_docs,
+        total_tags: tags_dense.len(),
+    }
+}
+
+/// Summary statistics for one window — the three panels of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectivityReport {
+    /// Number of connected tagset components ("disjoint sets").
+    pub n_components: usize,
+    /// Share of window tags inside the largest (by tags) component, in `[0,1]`.
+    pub max_tag_share: f64,
+    /// Share of window documents related to the heaviest component, in `[0,1]`.
+    pub max_doc_share: f64,
+}
+
+impl Components {
+    /// Condense into the Fig. 7 measurements.
+    pub fn report(&self) -> ConnectivityReport {
+        let max_tags = self
+            .components
+            .iter()
+            .map(|c| c.tags.len())
+            .max()
+            .unwrap_or(0);
+        let max_docs = self.components.iter().map(|c| c.docs).max().unwrap_or(0);
+        ConnectivityReport {
+            n_components: self.components.len(),
+            max_tag_share: if self.total_tags == 0 {
+                0.0
+            } else {
+                max_tags as f64 / self.total_tags as f64
+            },
+            max_doc_share: if self.total_docs == 0 {
+                0.0
+            } else {
+                max_docs as f64 / self.total_docs as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcorr_model::{TagSet, TagSetStat};
+
+    fn input(specs: &[(&[u32], u64)]) -> PartitionInput {
+        PartitionInput::from_stats(
+            specs
+                .iter()
+                .map(|(ids, c)| TagSetStat {
+                    tags: TagSet::from_ids(ids),
+                    count: *c,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn figure1_has_two_components() {
+        // Figure 1's graph: one 6-tag component (86 % of docs) and one 3-tag
+        // component (14 %).
+        let inp = input(&[
+            (&[0, 1, 2], 10),
+            (&[1, 3], 4),
+            (&[0, 4], 3),
+            (&[5, 2], 1),
+            (&[6, 7], 2),
+            (&[8, 7], 1),
+        ]);
+        let comps = connected_components(&inp);
+        assert_eq!(comps.components.len(), 2);
+        let big = &comps.components[0];
+        assert_eq!(big.tags.len(), 6);
+        assert_eq!(big.docs, 18);
+        let small = &comps.components[1];
+        assert_eq!(small.tags.len(), 3);
+        assert_eq!(small.docs, 3);
+        let rep = comps.report();
+        assert!((rep.max_doc_share - 18.0 / 21.0).abs() < 1e-12);
+        assert!((rep.max_tag_share - 6.0 / 9.0).abs() < 1e-12);
+        assert_eq!(rep.n_components, 2);
+    }
+
+    #[test]
+    fn isolated_singletons_are_components() {
+        let inp = input(&[(&[1], 1), (&[2], 1), (&[3], 1)]);
+        let comps = connected_components(&inp);
+        assert_eq!(comps.components.len(), 3);
+        assert_eq!(comps.report().n_components, 3);
+    }
+
+    #[test]
+    fn chain_merges_into_one() {
+        let inp = input(&[(&[1, 2], 1), (&[2, 3], 1), (&[3, 4], 1)]);
+        let comps = connected_components(&inp);
+        assert_eq!(comps.components.len(), 1);
+        assert_eq!(comps.components[0].tags.len(), 4);
+        assert_eq!(comps.components[0].tagsets.len(), 3);
+    }
+
+    #[test]
+    fn ordering_is_by_load_desc() {
+        let inp = input(&[(&[1], 1), (&[2], 5), (&[3], 3)]);
+        let comps = connected_components(&inp);
+        let docs: Vec<u64> = comps.components.iter().map(|c| c.docs).collect();
+        assert_eq!(docs, vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn empty_window() {
+        let comps = connected_components(&input(&[]));
+        assert_eq!(comps.components.len(), 0);
+        let rep = comps.report();
+        assert_eq!(rep.max_tag_share, 0.0);
+        assert_eq!(rep.max_doc_share, 0.0);
+    }
+
+    #[test]
+    fn component_docs_sum_to_total() {
+        let inp = input(&[(&[1, 2], 7), (&[3], 2), (&[4, 5], 4), (&[5, 6], 1)]);
+        let comps = connected_components(&inp);
+        let sum: u64 = comps.components.iter().map(|c| c.docs).sum();
+        assert_eq!(sum, inp.total_docs);
+    }
+}

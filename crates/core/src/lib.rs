@@ -1,0 +1,51 @@
+//! # setcorr-core
+//!
+//! The primary contribution of *Alvanaki & Michel, "Tracking Set Correlations
+//! at Large Scale"* (SIGMOD 2014), as a reusable library:
+//!
+//! * [`algorithms`] — the four tag-partitioning algorithms of §4
+//!   (DS / SCC / SCL / SCI) over a [`PartitionInput`] window,
+//! * [`partition`] — partitions, coverage/replication invariants, and the
+//!   quality evaluation of §8.2,
+//! * [`graph`] — the tagset co-occurrence graph and its connected components
+//!   (Fig. 7 connectivity measurements),
+//! * [`calculator`] — subset counting and inclusion–exclusion Jaccard (§3.1),
+//! * [`disseminator`] — the inverted-index router with Single-Addition and
+//!   repartition triggering (§3.3, §7),
+//! * [`merger`] — combining parallel Partitioner outputs and answering
+//!   Single Additions (§6.2, §7.1),
+//! * [`quality`] — drift monitoring against creation-time references (§7.2),
+//! * [`tracker`] — max-CN deduplication of replicated coefficients (§6.2),
+//! * [`union_find`] — the disjoint-set forest underpinning DS.
+//!
+//! Everything here is a pure state machine: no threads, no channels, no
+//! clocks. The `setcorr-topology` crate wires these onto the Storm-like
+//! `setcorr-engine` runtime.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod calculator;
+pub mod disseminator;
+pub mod graph;
+pub mod input;
+pub mod merger;
+pub mod partition;
+pub mod quality;
+pub mod tracker;
+pub mod union_find;
+
+pub use algorithms::{
+    best_partition_for_addition, disjoint_sets, pack_sets, partition, partition_ds,
+    partition_ds_scl, partition_setcover, partition_setcover_groups, AlgorithmKind,
+    SetCoverVariant, WeightedTagList,
+};
+pub use calculator::{Calculator, CoefficientReport};
+pub use disseminator::{Disseminator, DisseminatorAction, DisseminatorConfig, RouteResult};
+pub use graph::{connected_components, Component, Components, ConnectivityReport};
+pub use input::{PartitionInput, TagSetIdx};
+pub use merger::{MergeOutcome, Merger, PartitionerOutput};
+pub use partition::{CalcId, Partition, PartitionQuality, PartitionSet};
+pub use quality::{QualityMonitor, QualityReference, RepartitionCause};
+pub use tracker::{TrackedCoefficient, Tracker};
+pub use union_find::UnionFind;

@@ -1,0 +1,302 @@
+//! Tag partitions and their quality measures.
+//!
+//! A [`PartitionSet`] is the output of any §4 algorithm: `k` tag partitions
+//! `pr_1 … pr_k`, one per Calculator. [`PartitionSet::evaluate`] scores a
+//! partition set against a window exactly the way the paper's Disseminator
+//! does at runtime: *communication* = average notifications per forwarded
+//! tagset, *load* = share of notifications per Calculator (§8.2.1–8.2.2).
+
+use crate::input::PartitionInput;
+use setcorr_metrics::gini;
+use setcorr_model::{FxHashMap, FxHashSet, Tag, TagSet};
+
+/// Identifier of a Calculator (equivalently: index of its partition).
+pub type CalcId = usize;
+
+/// One tag partition `pr_i` and its bookkeeping load.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// The tags assigned to this Calculator.
+    pub tags: FxHashSet<Tag>,
+    /// Algorithm bookkeeping load: `Σ_{s_k ∈ pr_i} l_k` over the tagsets
+    /// assigned during construction (§4.2).
+    pub load: u64,
+}
+
+impl Partition {
+    /// Empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add every tag of `ts` and account its load.
+    pub fn absorb(&mut self, ts: &TagSet, load: u64) {
+        for t in ts {
+            self.tags.insert(t);
+        }
+        self.load += load;
+    }
+
+    /// Add a raw tag list (used when packing connected components, which may
+    /// exceed the per-document tagset size cap) and account its load.
+    pub fn absorb_tags(&mut self, tags: &[Tag], load: u64) {
+        self.tags.extend(tags.iter().copied());
+        self.load += load;
+    }
+
+    /// Number of tags of `ts` shared with this partition (`|s_i ∩ pr_j|`).
+    pub fn overlap(&self, ts: &TagSet) -> usize {
+        ts.covered_count(&self.tags)
+    }
+
+    /// True iff `ts ⊆ pr` — the Calculator owning this partition can compute
+    /// the Jaccard coefficient of `ts`.
+    pub fn covers(&self, ts: &TagSet) -> bool {
+        ts.is_covered_by(&self.tags)
+    }
+}
+
+/// A complete assignment of tags to `k` Calculators.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionSet {
+    /// The partitions; index = [`CalcId`].
+    pub parts: Vec<Partition>,
+}
+
+impl PartitionSet {
+    /// `k` empty partitions.
+    pub fn empty(k: usize) -> Self {
+        PartitionSet {
+            parts: (0..k).map(|_| Partition::new()).collect(),
+        }
+    }
+
+    /// Number of partitions `k`.
+    pub fn k(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// First partition fully containing `ts`, if any.
+    pub fn covering_partition(&self, ts: &TagSet) -> Option<CalcId> {
+        self.parts.iter().position(|p| p.covers(ts))
+    }
+
+    /// True iff some partition fully contains `ts` (§1.1 requirement 1).
+    pub fn covers(&self, ts: &TagSet) -> bool {
+        self.covering_partition(ts).is_some()
+    }
+
+    /// Mean number of partitions each distinct tag is assigned to (1.0 =
+    /// zero replication; §1.1 requirement 2 minimises this).
+    pub fn replication_factor(&self) -> f64 {
+        let mut counts: FxHashMap<Tag, u32> = FxHashMap::default();
+        for p in &self.parts {
+            for &t in &p.tags {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        if counts.is_empty() {
+            return 1.0;
+        }
+        counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64
+    }
+
+    /// Total distinct tags across partitions.
+    pub fn distinct_tags(&self) -> usize {
+        let mut tags: FxHashSet<Tag> = FxHashSet::default();
+        for p in &self.parts {
+            tags.extend(p.tags.iter().copied());
+        }
+        tags.len()
+    }
+
+    /// Score this partition set against a window (§8.2 metrics): how the
+    /// Disseminator *would* route the window's documents.
+    pub fn evaluate(&self, input: &PartitionInput) -> PartitionQuality {
+        let k = self.k();
+        let mut per_part = vec![0u64; k];
+        let mut notifications = 0u64;
+        let mut routed_docs = 0u64;
+        let mut uncovered = 0usize;
+
+        for stat in &input.stats {
+            let mut hits = 0u64;
+            let mut covered = false;
+            for (i, p) in self.parts.iter().enumerate() {
+                let overlap = p.overlap(&stat.tags);
+                if overlap > 0 {
+                    hits += 1;
+                    per_part[i] += stat.count;
+                    if overlap == stat.tags.len() {
+                        covered = true;
+                    }
+                }
+            }
+            if hits > 0 {
+                notifications += hits * stat.count;
+                routed_docs += stat.count;
+            }
+            if !covered {
+                uncovered += 1;
+            }
+        }
+
+        let shares: Vec<f64> = if notifications == 0 {
+            vec![0.0; k]
+        } else {
+            per_part
+                .iter()
+                .map(|&c| c as f64 / notifications as f64)
+                .collect()
+        };
+        PartitionQuality {
+            avg_communication: if routed_docs == 0 {
+                0.0
+            } else {
+                notifications as f64 / routed_docs as f64
+            },
+            max_load_share: shares.iter().copied().fold(0.0, f64::max),
+            load_gini: gini(&shares),
+            load_shares: shares,
+            uncovered_tagsets: uncovered,
+        }
+    }
+}
+
+/// Quality of a partition set with respect to a window (the reference values
+/// `avgCom` / `maxLoad` the Merger ships to the Disseminators in §7.2, plus
+/// the evaluation metrics of §8.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Average notifications per routed document ("Communication", §8.2.1).
+    pub avg_communication: f64,
+    /// Largest per-Calculator share of notifications ("maxLoad", §7.2).
+    pub max_load_share: f64,
+    /// Per-Calculator share of notifications ("Processing Load", §8.2.2).
+    pub load_shares: Vec<f64>,
+    /// Gini coefficient of `load_shares`.
+    pub load_gini: f64,
+    /// Distinct window tagsets not fully contained in any partition — must
+    /// be 0 straight after partitioning (coverage requirement).
+    pub uncovered_tagsets: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcorr_model::TagSetStat;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    fn input(specs: &[(&[u32], u64)]) -> PartitionInput {
+        PartitionInput::from_stats(
+            specs
+                .iter()
+                .map(|(ids, c)| TagSetStat {
+                    tags: ts(ids),
+                    count: *c,
+                })
+                .collect(),
+        )
+    }
+
+    fn part(ids: &[u32]) -> Partition {
+        let mut p = Partition::new();
+        p.absorb(&ts(ids), 0);
+        p
+    }
+
+    #[test]
+    fn absorb_and_overlap() {
+        let mut p = Partition::new();
+        p.absorb(&ts(&[1, 2]), 5);
+        p.absorb(&ts(&[2, 3]), 7);
+        assert_eq!(p.load, 12);
+        assert_eq!(p.tags.len(), 3);
+        assert_eq!(p.overlap(&ts(&[2, 3, 9])), 2);
+        assert!(p.covers(&ts(&[1, 3])));
+        assert!(!p.covers(&ts(&[1, 9])));
+    }
+
+    #[test]
+    fn covering_partition_finds_owner() {
+        let ps = PartitionSet {
+            parts: vec![part(&[1, 2]), part(&[3, 4, 5])],
+        };
+        assert_eq!(ps.covering_partition(&ts(&[3, 5])), Some(1));
+        assert_eq!(ps.covering_partition(&ts(&[2, 3])), None);
+        assert!(ps.covers(&ts(&[1])));
+    }
+
+    #[test]
+    fn replication_factor_counts_duplicates() {
+        let ps = PartitionSet {
+            parts: vec![part(&[1, 2]), part(&[2, 3])],
+        };
+        // tags 1,3 once; tag 2 twice → (1+2+1)/3
+        assert!((ps.replication_factor() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ps.distinct_tags(), 3);
+        assert_eq!(PartitionSet::empty(3).replication_factor(), 1.0);
+    }
+
+    #[test]
+    fn evaluate_paper_example() {
+        // §3: pr1 = {munich(0), beer(1), soccer(2), oktoberfest(4), beach(6),
+        // sunny(7), friday(8)}, pr2 = {beer(1), pizza(3), bavaria(5),
+        // soccer(2)} over the Figure 1 data. Loads: pr1 ← 21 docs, pr2 ← 15
+        // docs → 58 % / 42 %.
+        let inp = input(&[
+            (&[0, 1, 2], 10),
+            (&[1, 3], 4),
+            (&[0, 4], 3),
+            (&[5, 2], 1),
+            (&[6, 7], 2),
+            (&[8, 7], 1),
+        ]);
+        let ps = PartitionSet {
+            parts: vec![part(&[0, 1, 2, 4, 6, 7, 8]), part(&[1, 2, 3, 5])],
+        };
+        let q = ps.evaluate(&inp);
+        assert_eq!(q.uncovered_tagsets, 0, "both partitions cover everything");
+        // per-part doc loads: pr1 = 10+4+3+1+2+1 = 21, pr2 = 10+4+1 = 15
+        let total = 21.0 + 15.0;
+        assert!((q.load_shares[0] - 21.0 / total).abs() < 1e-12);
+        assert!((q.load_shares[1] - 15.0 / total).abs() < 1e-12);
+        assert!((q.max_load_share - 21.0 / total).abs() < 1e-12);
+        // communication: docs routed once = 3+2+1 (oktoberfest, beach,
+        // friday sets) + 0; twice = 10+4+1 → (21+15)/21
+        assert!((q.avg_communication - 36.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_flags_uncovered() {
+        let inp = input(&[(&[1, 2], 1), (&[3, 4], 1)]);
+        let ps = PartitionSet {
+            parts: vec![part(&[1, 2]), part(&[3])],
+        };
+        let q = ps.evaluate(&inp);
+        assert_eq!(q.uncovered_tagsets, 1);
+    }
+
+    #[test]
+    fn evaluate_empty_window() {
+        let ps = PartitionSet::empty(4);
+        let q = ps.evaluate(&input(&[]));
+        assert_eq!(q.avg_communication, 0.0);
+        assert_eq!(q.max_load_share, 0.0);
+        assert_eq!(q.uncovered_tagsets, 0);
+    }
+
+    #[test]
+    fn disjoint_partitions_have_unit_communication() {
+        let inp = input(&[(&[1, 2], 5), (&[3, 4], 5)]);
+        let ps = PartitionSet {
+            parts: vec![part(&[1, 2]), part(&[3, 4])],
+        };
+        let q = ps.evaluate(&inp);
+        assert!((q.avg_communication - 1.0).abs() < 1e-12);
+        assert!((q.load_gini - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Partition quality monitoring (§7.2).
+//!
+//! When the Merger installs partitions it ships the reference values
+//! `avgCom` / `maxLoad` measured at creation time. The Disseminator then
+//! keeps live statistics over batches of `z` routed tagsets; whenever the
+//! live average communication or maximum load share exceeds its reference by
+//! more than the threshold `thr`, a repartition is requested, tagged with its
+//! cause (the paper's Fig. 6 splits repartitions into Communication / Load /
+//! Both).
+
+use crate::partition::CalcId;
+
+/// Reference quality captured when partitions were created.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReference {
+    /// Average notifications per routed tagset at creation time.
+    pub avg_com: f64,
+    /// Maximum per-Calculator share of notifications at creation time.
+    pub max_load: f64,
+}
+
+/// Why a repartition was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepartitionCause {
+    /// Live communication drifted beyond `avgCom · (1 + thr)`.
+    Communication,
+    /// Live max load share drifted beyond `maxLoad · (1 + thr)`.
+    Load,
+    /// Both at once.
+    Both,
+}
+
+impl std::fmt::Display for RepartitionCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RepartitionCause::Communication => "Communication",
+            RepartitionCause::Load => "Load",
+            RepartitionCause::Both => "Both",
+        })
+    }
+}
+
+/// Live statistics over batches of `z` routed tagsets.
+#[derive(Debug, Clone)]
+pub struct QualityMonitor {
+    /// Batch size in routed tagsets ("statistics … computed for every 1000
+    /// tweets for which there was a notification sent", §8.2).
+    z: u64,
+    /// Allowed relative degradation before triggering (`thr`, §8.1).
+    thr: f64,
+    reference: Option<QualityReference>,
+    notifications: u64,
+    routed: u64,
+    per_calc: Vec<u64>,
+}
+
+impl QualityMonitor {
+    /// Monitor for `n_calcs` Calculators with batch size `z` and threshold
+    /// `thr`.
+    pub fn new(n_calcs: usize, z: u64, thr: f64) -> Self {
+        assert!(z >= 1, "batch size must be positive");
+        QualityMonitor {
+            z,
+            thr,
+            reference: None,
+            notifications: 0,
+            routed: 0,
+            per_calc: vec![0; n_calcs],
+        }
+    }
+
+    /// Install the reference values of freshly created partitions and clear
+    /// the running batch.
+    pub fn set_reference(&mut self, reference: QualityReference) {
+        self.reference = Some(reference);
+        self.reset_batch();
+    }
+
+    /// The currently installed reference.
+    pub fn reference(&self) -> Option<QualityReference> {
+        self.reference
+    }
+
+    /// Record one routed tagset (`notified` = Calculators that received a
+    /// notification; must be non-empty — unrouted tagsets are *not* counted,
+    /// §7.2). Returns a repartition cause when a batch completes beyond
+    /// tolerance.
+    pub fn record(&mut self, notified: &[CalcId]) -> Option<RepartitionCause> {
+        debug_assert!(!notified.is_empty());
+        self.notifications += notified.len() as u64;
+        for &c in notified {
+            self.per_calc[c] += 1;
+        }
+        self.routed += 1;
+        if self.routed < self.z {
+            return None;
+        }
+        let verdict = self.evaluate();
+        self.reset_batch();
+        verdict
+    }
+
+    /// Live average communication of the current batch.
+    pub fn live_avg_com(&self) -> f64 {
+        if self.routed == 0 {
+            0.0
+        } else {
+            self.notifications as f64 / self.routed as f64
+        }
+    }
+
+    /// Live maximum per-Calculator load share of the current batch.
+    pub fn live_max_load(&self) -> f64 {
+        if self.notifications == 0 {
+            return 0.0;
+        }
+        let max = self.per_calc.iter().copied().max().unwrap_or(0);
+        max as f64 / self.notifications as f64
+    }
+
+    fn evaluate(&self) -> Option<RepartitionCause> {
+        let reference = self.reference?;
+        let com_bad = self.live_avg_com() > reference.avg_com * (1.0 + self.thr);
+        let load_bad = self.live_max_load() > reference.max_load * (1.0 + self.thr);
+        match (com_bad, load_bad) {
+            (true, true) => Some(RepartitionCause::Both),
+            (true, false) => Some(RepartitionCause::Communication),
+            (false, true) => Some(RepartitionCause::Load),
+            (false, false) => None,
+        }
+    }
+
+    /// Clear the running batch statistics.
+    pub fn reset_batch(&mut self) {
+        self.notifications = 0;
+        self.routed = 0;
+        self.per_calc.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(avg_com: f64, max_load: f64) -> QualityReference {
+        QualityReference { avg_com, max_load }
+    }
+
+    #[test]
+    fn no_trigger_within_tolerance() {
+        let mut m = QualityMonitor::new(2, 4, 0.5);
+        m.set_reference(reference(1.5, 0.6));
+        // 4 tagsets, avgCom = 1.5, balanced
+        assert_eq!(m.record(&[0]), None);
+        assert_eq!(m.record(&[0, 1]), None);
+        assert_eq!(m.record(&[1]), None);
+        let verdict = m.record(&[0, 1]);
+        assert_eq!(verdict, None);
+        // batch was reset
+        assert_eq!(m.live_avg_com(), 0.0);
+    }
+
+    #[test]
+    fn communication_drift_triggers() {
+        let mut m = QualityMonitor::new(3, 2, 0.5);
+        m.set_reference(reference(1.0, 1.0)); // maxLoad ref lax
+        assert_eq!(m.record(&[0, 1, 2]), None);
+        // avgCom' = 3.0 > 1.0 × 1.5
+        assert_eq!(m.record(&[0, 1, 2]), Some(RepartitionCause::Communication));
+    }
+
+    #[test]
+    fn load_drift_triggers() {
+        let mut m = QualityMonitor::new(2, 2, 0.2);
+        m.set_reference(reference(10.0, 0.5)); // avgCom ref lax
+        assert_eq!(m.record(&[0]), None);
+        // all notifications on calc 0 → maxLoad' = 1.0 > 0.5 × 1.2
+        assert_eq!(m.record(&[0]), Some(RepartitionCause::Load));
+    }
+
+    #[test]
+    fn both_drift_triggers_both() {
+        // avgCom' = 2.0 > 1.0·1.1 and maxLoad' = 0.5 > 0.4·1.1 → Both
+        let mut m = QualityMonitor::new(2, 1, 0.1);
+        m.set_reference(reference(1.0, 0.4));
+        assert_eq!(m.record(&[0, 1]), Some(RepartitionCause::Both));
+    }
+
+    #[test]
+    fn higher_threshold_tolerates_more() {
+        let run = |thr: f64| {
+            let mut m = QualityMonitor::new(2, 2, thr);
+            m.set_reference(reference(1.0, 0.6));
+            m.record(&[0, 1]);
+            m.record(&[0]) // avgCom' = 1.5
+        };
+        assert_eq!(run(0.2), Some(RepartitionCause::Communication));
+        assert_eq!(run(0.6), None);
+    }
+
+    #[test]
+    fn without_reference_never_triggers() {
+        let mut m = QualityMonitor::new(2, 1, 0.0);
+        assert_eq!(m.record(&[0, 1]), None);
+    }
+
+    #[test]
+    fn live_values_reflect_batch() {
+        let mut m = QualityMonitor::new(2, 100, 0.5);
+        m.set_reference(reference(1.0, 0.5));
+        m.record(&[0, 1]);
+        m.record(&[0]);
+        assert!((m.live_avg_com() - 1.5).abs() < 1e-12);
+        assert!((m.live_max_load() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_reference_resets_running_batch() {
+        let mut m = QualityMonitor::new(1, 10, 0.5);
+        m.set_reference(reference(1.0, 1.0));
+        m.record(&[0]);
+        assert!(m.live_avg_com() > 0.0);
+        m.set_reference(reference(2.0, 1.0));
+        assert_eq!(m.live_avg_com(), 0.0);
+        assert_eq!(m.reference(), Some(reference(2.0, 1.0)));
+    }
+}

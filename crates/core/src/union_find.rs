@@ -1,0 +1,205 @@
+//! Disjoint-set forest (union-find) over dense indices.
+//!
+//! The Disjoint Sets partitioning algorithm (§4.1) and the connectivity
+//! analysis of Fig. 7 both reduce to maintaining connected components of the
+//! tag graph. This implementation uses union by size and path halving:
+//! effectively-constant amortised operations.
+
+/// Union-find over `0..len` with union-by-size and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    /// parent[i] — roots point to themselves.
+    parent: Vec<u32>,
+    /// size[r] is meaningful only while `r` is a root.
+    size: Vec<u32>,
+    /// Number of distinct sets.
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Grow the universe with new singleton elements up to `new_len`.
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len <= u32::MAX as usize);
+        let old = self.parent.len();
+        if new_len <= old {
+            return;
+        }
+        self.parent.extend(old as u32..new_len as u32);
+        self.size.resize(new_len, 1);
+        self.sets += new_len - old;
+    }
+
+    /// Root of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Root of `x`'s set without mutation (no compression).
+    pub fn find_immutable(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns the new root, or `None` if they
+    /// were already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> Option<u32> {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        Some(ra)
+    }
+
+    /// True iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1).is_some());
+        assert!(uf.union(1, 2).is_some());
+        assert!(uf.union(0, 2).is_none(), "already connected");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(2), 3);
+    }
+
+    #[test]
+    fn grow_adds_singletons() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        uf.grow(4);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.connected(0, 3));
+        uf.grow(3); // shrink request is a no-op
+        assert_eq!(uf.len(), 4);
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(7, 8);
+        for i in 0..10 {
+            assert_eq!(uf.find_immutable(i), uf.clone().find(i));
+        }
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert_eq!(uf.set_size(0), 1000);
+        assert!(uf.connected(0, 999));
+    }
+
+    #[test]
+    fn matches_naive_components_on_random_graph() {
+        // deterministic xorshift edges
+        let n = 64u32;
+        let mut uf = UnionFind::new(n as usize);
+        let mut naive: Vec<u32> = (0..n).collect(); // label array
+        let mut state = 0x12345678u64;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..80 {
+            let a = (rnd() % n as u64) as u32;
+            let b = (rnd() % n as u64) as u32;
+            uf.union(a, b);
+            // naive relabel
+            let (la, lb) = (naive[a as usize], naive[b as usize]);
+            if la != lb {
+                for l in naive.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    uf.connected(i, j),
+                    naive[i as usize] == naive[j as usize],
+                    "disagree on ({i},{j})"
+                );
+            }
+        }
+    }
+}

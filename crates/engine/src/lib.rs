@@ -1,0 +1,27 @@
+//! # setcorr-engine
+//!
+//! A from-scratch, Storm-like distributed stream-processing substrate (§6.1
+//! of the paper): topologies of [`Spout`]s and [`Bolt`]s with per-component
+//! parallelism and the full set of groupings (shuffle / all / fields /
+//! global / direct), executable on two runtimes:
+//!
+//! * [`run_sim`] — deterministic single-threaded discrete-event execution;
+//!   every run is exactly reproducible (the experiment harness uses this),
+//! * [`run_threaded`] — one OS thread per task over crossbeam channels, the
+//!   "real" parallel mode with Storm-like nondeterministic interleaving.
+//!
+//! Topologies process *finite* streams: when upstream producers finish, each
+//! bolt's [`Bolt::on_flush`] runs (declaration order in sim; Eos-quota
+//! tracking in threaded mode). Control back-edges (repartition requests,
+//! single-addition round trips) are declared via
+//! [`TopologyBuilder::connect_feedback`].
+
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod threaded;
+pub mod topology;
+
+pub use sim::{run_sim, SimStats};
+pub use threaded::{run_threaded, run_threaded_with, ThreadStats, ThreadedConfig};
+pub use topology::{Bolt, ComponentId, Emitter, Grouping, Spout, Topology, TopologyBuilder};

@@ -1,0 +1,523 @@
+//! Deterministic single-threaded runtime.
+//!
+//! Executes a topology as a discrete-event simulation: one message at a time
+//! from a global FIFO, spouts pumped round-robin one message each, queue
+//! drained to empty between pumps. Every grouping decision is deterministic
+//! (shuffle = per-edge round-robin), so a run is exactly reproducible —
+//! the mode used by the experiment harness and the integration tests.
+//!
+//! On exhaustion of all spouts the engine *flushes*: components are visited
+//! in declaration order, each task's [`Bolt::on_flush`] runs and the queue is
+//! drained before moving on, so downstream flushes observe upstream finals.
+
+use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};
+use std::collections::VecDeque;
+
+/// Per-run statistics of the simulated execution.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Messages processed per component (indexed by [`ComponentId`]).
+    pub processed: Vec<u64>,
+    /// Messages emitted per component.
+    pub emitted: Vec<u64>,
+}
+
+struct Routing<M> {
+    /// Edge list per producer component.
+    by_producer: Vec<Vec<EdgeRt<M>>>,
+    parallelism: Vec<usize>,
+}
+
+struct EdgeRt<M> {
+    stream: &'static str,
+    to: ComponentId,
+    grouping: Grouping<M>,
+}
+
+struct SimEmitter<'a, M> {
+    routing: &'a Routing<M>,
+    queue: &'a mut VecDeque<(ComponentId, usize, M)>,
+    shuffle_counters: &'a mut [usize],
+    /// Offsets of this producer's edges into `shuffle_counters`.
+    edge_base: usize,
+    from: ComponentId,
+    emitted: &'a mut u64,
+}
+
+impl<M: Clone> Emitter<M> for SimEmitter<'_, M> {
+    fn emit(&mut self, stream: &'static str, msg: M) {
+        let edges = &self.routing.by_producer[self.from];
+        for (i, e) in edges.iter().enumerate() {
+            if e.stream != stream || matches!(e.grouping, Grouping::Direct) {
+                continue;
+            }
+            let p = self.routing.parallelism[e.to];
+            match &e.grouping {
+                Grouping::Shuffle => {
+                    let ctr = &mut self.shuffle_counters[self.edge_base + i];
+                    let task = *ctr % p;
+                    *ctr += 1;
+                    self.queue.push_back((e.to, task, msg.clone()));
+                    *self.emitted += 1;
+                }
+                Grouping::Global => {
+                    self.queue.push_back((e.to, 0, msg.clone()));
+                    *self.emitted += 1;
+                }
+                Grouping::All => {
+                    for task in 0..p {
+                        self.queue.push_back((e.to, task, msg.clone()));
+                        *self.emitted += 1;
+                    }
+                }
+                Grouping::Fields(f) => {
+                    let task = (f(&msg) % p as u64) as usize;
+                    self.queue.push_back((e.to, task, msg.clone()));
+                    *self.emitted += 1;
+                }
+                Grouping::Direct => unreachable!("filtered above"),
+            }
+        }
+    }
+
+    fn emit_direct(&mut self, stream: &'static str, to: ComponentId, task: usize, msg: M) {
+        let edges = &self.routing.by_producer[self.from];
+        let ok = edges
+            .iter()
+            .any(|e| e.stream == stream && e.to == to && matches!(e.grouping, Grouping::Direct));
+        assert!(
+            ok,
+            "emit_direct on undeclared Direct edge {}:{stream} -> {to}",
+            self.from
+        );
+        assert!(task < self.routing.parallelism[to], "task out of range");
+        self.queue.push_back((to, task, msg));
+        *self.emitted += 1;
+    }
+}
+
+/// Run `topology` to completion in simulation mode.
+pub fn run_sim<M: Clone + 'static>(mut topology: Topology<M>) -> SimStats {
+    let n = topology.components.len();
+    let parallelism: Vec<usize> = topology.components.iter().map(|c| c.parallelism).collect();
+
+    // Instantiate tasks.
+    let mut spouts: Vec<Vec<Box<dyn crate::topology::Spout<M>>>> = Vec::with_capacity(n);
+    let mut bolts: Vec<Vec<Option<Box<dyn crate::topology::Bolt<M>>>>> = Vec::with_capacity(n);
+    for spec in &mut topology.components {
+        match &mut spec.kind {
+            ComponentKind::Spout(factory) => {
+                spouts.push((0..spec.parallelism).map(|t| factory(t)).collect());
+                bolts.push(Vec::new());
+            }
+            ComponentKind::Bolt(factory) => {
+                spouts.push(Vec::new());
+                bolts.push((0..spec.parallelism).map(|t| Some(factory(t))).collect());
+            }
+        }
+    }
+
+    // Routing table.
+    let mut by_producer: Vec<Vec<EdgeRt<M>>> = (0..n).map(|_| Vec::new()).collect();
+    for e in topology.edges.drain(..) {
+        by_producer[e.from].push(EdgeRt {
+            stream: e.stream,
+            to: e.to,
+            grouping: e.grouping,
+        });
+    }
+    let edge_base: Vec<usize> = {
+        let mut base = Vec::with_capacity(n);
+        let mut acc = 0;
+        for edges in &by_producer {
+            base.push(acc);
+            acc += edges.len();
+        }
+        base
+    };
+    let total_edges: usize = by_producer.iter().map(|v| v.len()).sum();
+    let routing = Routing {
+        by_producer,
+        parallelism,
+    };
+    let mut shuffle_counters = vec![0usize; total_edges];
+
+    let mut queue: VecDeque<(ComponentId, usize, M)> = VecDeque::new();
+    let mut stats = SimStats {
+        processed: vec![0; n],
+        emitted: vec![0; n],
+    };
+
+    // Drains the queue to empty, dispatching to bolts.
+    macro_rules! drain {
+        () => {
+            while let Some((c, t, msg)) = queue.pop_front() {
+                let Some(bolt) = bolts[c][t].as_mut() else {
+                    continue;
+                };
+                stats.processed[c] += 1;
+                let mut emitter = SimEmitter {
+                    routing: &routing,
+                    queue: &mut queue,
+                    shuffle_counters: &mut shuffle_counters,
+                    edge_base: edge_base[c],
+                    from: c,
+                    emitted: &mut stats.emitted[c],
+                };
+                bolt.on_message(msg, &mut emitter);
+            }
+        };
+    }
+
+    // Pump spouts round-robin until all are exhausted.
+    let mut live: Vec<(ComponentId, usize)> = (0..n)
+        .flat_map(|c| (0..spouts[c].len()).map(move |t| (c, t)))
+        .collect();
+    while !live.is_empty() {
+        live.retain(|&(c, t)| {
+            match spouts[c][t].next() {
+                Some(msg) => {
+                    let mut emitter = SimEmitter {
+                        routing: &routing,
+                        queue: &mut queue,
+                        shuffle_counters: &mut shuffle_counters,
+                        edge_base: edge_base[c],
+                        from: c,
+                        emitted: &mut stats.emitted[c],
+                    };
+                    emitter.emit_spout(msg);
+                    true
+                }
+                None => false,
+            }
+        });
+        drain!();
+    }
+
+    // Flush in declaration order.
+    for c in 0..n {
+        for t in 0..bolts[c].len() {
+            if let Some(bolt) = bolts[c][t].as_mut() {
+                let mut emitter = SimEmitter {
+                    routing: &routing,
+                    queue: &mut queue,
+                    shuffle_counters: &mut shuffle_counters,
+                    edge_base: edge_base[c],
+                    from: c,
+                    emitted: &mut stats.emitted[c],
+                };
+                bolt.on_flush(&mut emitter);
+            }
+        }
+        drain!();
+    }
+
+    stats
+}
+
+impl<M: Clone> SimEmitter<'_, M> {
+    /// Spouts emit on the conventional stream name `"out"` if they have any
+    /// `"out"` edges, otherwise on every declared stream of the component.
+    /// In practice spout components declare exactly one logical output per
+    /// stream name, so we route over *all* of the spout's edges by stream.
+    fn emit_spout(&mut self, msg: M) {
+        // Emit over each distinct stream name once.
+        let streams: Vec<&'static str> = {
+            let mut s: Vec<&'static str> = self.routing.by_producer[self.from]
+                .iter()
+                .map(|e| e.stream)
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        match streams.as_slice() {
+            [] => {}
+            [only] => self.emit(only, msg),
+            _ => panic!(
+                "spout {} has edges on multiple streams; spouts must use a \
+                 single stream (wrap routing logic in a bolt)",
+                self.from
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Bolt, Emitter, Grouping, TopologyBuilder};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Bolt that forwards every message, optionally recording what it saw.
+    struct Tap {
+        seen: Arc<Mutex<Vec<(usize, u64)>>>,
+        task: usize,
+        forward: Option<&'static str>,
+    }
+
+    impl Bolt<u64> for Tap {
+        fn on_message(&mut self, msg: u64, out: &mut dyn Emitter<u64>) {
+            self.seen.lock().unwrap().push((self.task, msg));
+            if let Some(stream) = self.forward {
+                out.emit(stream, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_round_robins_across_tasks() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..6));
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 3, move |task| {
+                Box::new(Tap {
+                    seen: seen.clone(),
+                    task,
+                    forward: None,
+                }) as Box<dyn Bolt<u64>>
+            })
+        };
+        tb.connect(src, "out", sink, Grouping::Shuffle);
+        let stats = run_sim(tb.build());
+        assert_eq!(stats.processed[sink], 6);
+        let mut per_task = [0u64; 3];
+        for &(t, _) in seen.lock().unwrap().iter() {
+            per_task[t] += 1;
+        }
+        assert_eq!(per_task, [2, 2, 2], "round-robin must balance exactly");
+    }
+
+    #[test]
+    fn all_grouping_broadcasts() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..4));
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 3, move |task| {
+                Box::new(Tap {
+                    seen: seen.clone(),
+                    task,
+                    forward: None,
+                }) as Box<dyn Bolt<u64>>
+            })
+        };
+        tb.connect(src, "out", sink, Grouping::All);
+        let stats = run_sim(tb.build());
+        assert_eq!(stats.processed[sink], 12);
+        assert_eq!(stats.emitted[src], 12);
+    }
+
+    #[test]
+    fn fields_grouping_is_sticky() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| {
+            Box::new([3u64, 7, 3, 7, 3, 11].into_iter())
+        });
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 4, move |task| {
+                Box::new(Tap {
+                    seen: seen.clone(),
+                    task,
+                    forward: None,
+                }) as Box<dyn Bolt<u64>>
+            })
+        };
+        tb.connect(
+            src,
+            "out",
+            sink,
+            Grouping::Fields(Arc::new(|m: &u64| *m)),
+        );
+        run_sim(tb.build());
+        let seen = seen.lock().unwrap();
+        let mut task_of = std::collections::HashMap::new();
+        for &(t, m) in seen.iter() {
+            let prev = task_of.insert(m, t);
+            if let Some(p) = prev {
+                assert_eq!(p, t, "key {m} moved between tasks");
+            }
+        }
+    }
+
+    #[test]
+    fn global_grouping_hits_task_zero() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..5));
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 3, move |task| {
+                Box::new(Tap {
+                    seen: seen.clone(),
+                    task,
+                    forward: None,
+                }) as Box<dyn Bolt<u64>>
+            })
+        };
+        tb.connect(src, "out", sink, Grouping::Global);
+        run_sim(tb.build());
+        assert!(seen.lock().unwrap().iter().all(|&(t, _)| t == 0));
+    }
+
+    /// Bolt that direct-emits to task `msg % parallelism` of a target.
+    struct DirectRouter {
+        target: usize,
+        target_parallelism: usize,
+    }
+
+    impl Bolt<u64> for DirectRouter {
+        fn on_message(&mut self, msg: u64, out: &mut dyn Emitter<u64>) {
+            let task = (msg % self.target_parallelism as u64) as usize;
+            out.emit_direct("routed", self.target, task, msg);
+        }
+    }
+
+    #[test]
+    fn direct_grouping_addresses_tasks() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..6));
+        // declare router first so we can reference the sink id (declared after)
+        let router = tb.add_bolt("router", 1, move |_| {
+            Box::new(DirectRouter {
+                target: 2, // sink will be component 2
+                target_parallelism: 3,
+            }) as Box<dyn Bolt<u64>>
+        });
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 3, move |task| {
+                Box::new(Tap {
+                    seen: seen.clone(),
+                    task,
+                    forward: None,
+                }) as Box<dyn Bolt<u64>>
+            })
+        };
+        assert_eq!(sink, 2);
+        tb.connect(src, "out", router, Grouping::Shuffle);
+        tb.connect(router, "routed", sink, Grouping::Direct);
+        run_sim(tb.build());
+        for &(t, m) in seen.lock().unwrap().iter() {
+            assert_eq!(t as u64, m % 3);
+        }
+    }
+
+    /// Bolt that counts messages and emits the count on flush.
+    struct CountOnFlush {
+        n: u64,
+    }
+
+    impl Bolt<u64> for CountOnFlush {
+        fn on_message(&mut self, _msg: u64, _out: &mut dyn Emitter<u64>) {
+            self.n += 1;
+        }
+        fn on_flush(&mut self, out: &mut dyn Emitter<u64>) {
+            out.emit("count", self.n);
+        }
+    }
+
+    #[test]
+    fn flush_cascades_downstream_in_declaration_order() {
+        static FINAL: AtomicU64 = AtomicU64::new(u64::MAX);
+        struct Recorder;
+        impl Bolt<u64> for Recorder {
+            fn on_message(&mut self, msg: u64, _out: &mut dyn Emitter<u64>) {
+                FINAL.store(msg, Ordering::SeqCst);
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..10));
+        let counter = tb.add_bolt("counter", 1, |_| {
+            Box::new(CountOnFlush { n: 0 }) as Box<dyn Bolt<u64>>
+        });
+        let rec = tb.add_bolt("rec", 1, |_| Box::new(Recorder) as Box<dyn Bolt<u64>>);
+        tb.connect(src, "out", counter, Grouping::Shuffle);
+        tb.connect(counter, "count", rec, Grouping::Global);
+        run_sim(tb.build());
+        assert_eq!(FINAL.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn feedback_edges_deliver_in_sim() {
+        // a → b (forward), b → a (feedback): a echoes one follow-up per even
+        // input; b records everything it sees.
+        struct A;
+        impl Bolt<u64> for A {
+            fn on_message(&mut self, msg: u64, out: &mut dyn Emitter<u64>) {
+                out.emit("fwd", msg);
+            }
+        }
+        struct B {
+            seen: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Bolt<u64> for B {
+            fn on_message(&mut self, msg: u64, out: &mut dyn Emitter<u64>) {
+                self.seen.lock().unwrap().push(msg);
+                if msg % 2 == 0 && msg < 100 {
+                    out.emit("back", msg + 100);
+                }
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..4));
+        let a = tb.add_bolt("a", 1, |_| Box::new(A) as Box<dyn Bolt<u64>>);
+        let b = {
+            let seen = seen.clone();
+            tb.add_bolt("b", 1, move |_| {
+                Box::new(B { seen: seen.clone() }) as Box<dyn Bolt<u64>>
+            })
+        };
+        tb.connect(src, "out", a, Grouping::Shuffle);
+        tb.connect(a, "fwd", b, Grouping::Shuffle);
+        tb.connect_feedback(b, "back", a, Grouping::Shuffle);
+        run_sim(tb.build());
+        let seen = seen.lock().unwrap();
+        // originals 0..4 plus echoes 100,102 re-forwarded through a
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&100) && seen.contains(&102));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let build = |sink_log: Arc<Mutex<Vec<(usize, u64)>>>| {
+            let mut tb = TopologyBuilder::new();
+            let src = tb.add_spout("src", 1, |_| Box::new(0u64..50));
+            let mid = tb.add_bolt("mid", 2, |_| {
+                struct Fwd;
+                impl Bolt<u64> for Fwd {
+                    fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+                        out.emit("x", m * 3);
+                    }
+                }
+                Box::new(Fwd) as Box<dyn Bolt<u64>>
+            });
+            let sink = {
+                let log = sink_log.clone();
+                tb.add_bolt("sink", 3, move |task| {
+                    Box::new(Tap {
+                        seen: log.clone(),
+                        task,
+                        forward: None,
+                    }) as Box<dyn Bolt<u64>>
+                })
+            };
+            tb.connect(src, "out", mid, Grouping::Shuffle);
+            tb.connect(mid, "x", sink, Grouping::Shuffle);
+            tb.build()
+        };
+        let log1 = Arc::new(Mutex::new(Vec::new()));
+        run_sim(build(log1.clone()));
+        let log2 = Arc::new(Mutex::new(Vec::new()));
+        run_sim(build(log2.clone()));
+        assert_eq!(*log1.lock().unwrap(), *log2.lock().unwrap());
+    }
+}

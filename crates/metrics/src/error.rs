@@ -1,0 +1,153 @@
+//! Accuracy bookkeeping for the Jaccard-error experiment (Fig. 5).
+//!
+//! The paper compares the coefficients the distributed system reports against
+//! a centralized exact computation, over tagsets seen more than `sn` times,
+//! and reports (a) the fraction of such tagsets that received *any*
+//! coefficient (> 97 % for all algorithms) and (b) the mean absolute error of
+//! the reported coefficients.
+
+use crate::stats::Running;
+
+/// Accumulates per-tagset accuracy comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStats {
+    abs_error: Running,
+    /// Tagsets the baseline tracked (denominator of coverage).
+    baseline_tagsets: u64,
+    /// Of those, tagsets for which the distributed system reported some
+    /// coefficient.
+    covered_tagsets: u64,
+    /// Coefficients reported by the system for tagsets unknown to the
+    /// baseline in that round (spurious, e.g. straddling a report boundary).
+    spurious: u64,
+}
+
+impl ErrorStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a tagset the baseline tracked: `reported` is the coefficient
+    /// the distributed system produced for it (if any), `truth` the exact
+    /// value.
+    pub fn observe(&mut self, reported: Option<f64>, truth: f64) {
+        self.baseline_tagsets += 1;
+        if let Some(est) = reported {
+            self.covered_tagsets += 1;
+            self.abs_error.push((est - truth).abs());
+        }
+    }
+
+    /// Record a coefficient reported for a tagset the baseline did not track.
+    pub fn observe_spurious(&mut self) {
+        self.spurious += 1;
+    }
+
+    /// Record an error sample only, without touching coverage bookkeeping
+    /// (used when coverage is counted per distinct tagset but errors per
+    /// `(round, tagset)` observation).
+    pub fn observe_error_only(&mut self, reported: f64, truth: f64) {
+        self.abs_error.push((reported - truth).abs());
+    }
+
+    /// Record whether one distinct eligible tagset was covered, without
+    /// adding an error sample.
+    pub fn observe_coverage(&mut self, covered: bool) {
+        self.baseline_tagsets += 1;
+        if covered {
+            self.covered_tagsets += 1;
+        }
+    }
+
+    /// Mean absolute error over covered tagsets.
+    pub fn mean_abs_error(&self) -> f64 {
+        self.abs_error.mean()
+    }
+
+    /// Largest absolute error seen.
+    pub fn max_abs_error(&self) -> f64 {
+        self.abs_error.max().unwrap_or(0.0)
+    }
+
+    /// Fraction of baseline tagsets that got some coefficient (`1.0` = all).
+    pub fn coverage(&self) -> f64 {
+        if self.baseline_tagsets == 0 {
+            1.0
+        } else {
+            self.covered_tagsets as f64 / self.baseline_tagsets as f64
+        }
+    }
+
+    /// Number of baseline tagsets compared.
+    pub fn baseline_tagsets(&self) -> u64 {
+        self.baseline_tagsets
+    }
+
+    /// Number of covered tagsets.
+    pub fn covered_tagsets(&self) -> u64 {
+        self.covered_tagsets
+    }
+
+    /// Number of spurious reports.
+    pub fn spurious(&self) -> u64 {
+        self.spurious
+    }
+
+    /// Merge another accumulator (e.g. across report rounds).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.abs_error.merge(&other.abs_error);
+        self.baseline_tagsets += other.baseline_tagsets;
+        self.covered_tagsets += other.covered_tagsets;
+        self.spurious += other.spurious;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_and_error() {
+        let mut e = ErrorStats::new();
+        e.observe(Some(0.5), 0.5);
+        e.observe(Some(0.3), 0.5);
+        e.observe(None, 0.9);
+        e.observe(Some(0.9), 1.0);
+        assert_eq!(e.baseline_tagsets(), 4);
+        assert_eq!(e.covered_tagsets(), 3);
+        assert!((e.coverage() - 0.75).abs() < 1e-12);
+        let expected = (0.0 + 0.2 + 0.1) / 3.0;
+        assert!((e.mean_abs_error() - expected).abs() < 1e-12);
+        assert!((e.max_abs_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_coverage_is_full() {
+        let e = ErrorStats::new();
+        assert_eq!(e.coverage(), 1.0);
+        assert_eq!(e.mean_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn spurious_is_counted_separately() {
+        let mut e = ErrorStats::new();
+        e.observe_spurious();
+        e.observe_spurious();
+        assert_eq!(e.spurious(), 2);
+        assert_eq!(e.baseline_tagsets(), 0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = ErrorStats::new();
+        a.observe(Some(0.1), 0.2);
+        let mut b = ErrorStats::new();
+        b.observe(None, 0.5);
+        b.observe_spurious();
+        a.merge(&b);
+        assert_eq!(a.baseline_tagsets(), 2);
+        assert_eq!(a.covered_tagsets(), 1);
+        assert_eq!(a.spurious(), 1);
+    }
+}

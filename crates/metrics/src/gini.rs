@@ -1,0 +1,138 @@
+//! Gini coefficient and Lorenz curve.
+//!
+//! The paper measures load imbalance across Calculators with the Gini
+//! coefficient, "defined mathematically based on the Lorenz curve which
+//! depicts the cumulative proportion of ordered individuals mapped onto the
+//! corresponding cumulative proportion of their size" (§8.2.2). A value of 0
+//! is perfect balance; values approach `1 − 1/n` when one node carries all
+//! load.
+
+/// Gini coefficient of a set of non-negative loads.
+///
+/// Uses the sorted-rank identity `G = (2·Σ i·x_(i)) / (n·Σ x) − (n+1)/n`
+/// (1-based ranks over ascending `x_(i)`), which is O(n log n) and exact.
+///
+/// Edge cases: an empty slice, a single node, or an all-zero load vector are
+/// all perfectly "balanced" and yield 0.
+pub fn gini(loads: &[f64]) -> f64 {
+    let n = loads.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    debug_assert!(loads.iter().all(|&x| x >= 0.0), "loads must be non-negative");
+    let total: f64 = loads.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = loads.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN loads"));
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    let n_f = n as f64;
+    (2.0 * weighted) / (n_f * total) - (n_f + 1.0) / n_f
+}
+
+/// Gini coefficient over integer counts (notification counts per Calculator).
+pub fn gini_counts(loads: &[u64]) -> f64 {
+    let as_f: Vec<f64> = loads.iter().map(|&x| x as f64).collect();
+    gini(&as_f)
+}
+
+/// Points of the Lorenz curve for the given loads: `(cum. population share,
+/// cum. load share)`, starting at `(0,0)` and ending at `(1,1)`.
+pub fn lorenz_curve(loads: &[f64]) -> Vec<(f64, f64)> {
+    let n = loads.len();
+    let total: f64 = loads.iter().sum();
+    if n == 0 || total <= 0.0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut sorted = loads.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN loads"));
+    let mut points = Vec::with_capacity(n + 1);
+    points.push((0.0, 0.0));
+    let mut cum = 0.0;
+    for (i, x) in sorted.iter().enumerate() {
+        cum += x;
+        points.push(((i as f64 + 1.0) / n as f64, cum / total));
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn equal_loads_are_perfectly_balanced() {
+        close(gini(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+        close(gini_counts(&[7, 7]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_balanced() {
+        close(gini(&[]), 0.0);
+        close(gini(&[3.0]), 0.0);
+        close(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn total_concentration_approaches_one() {
+        // one of n nodes holds everything → G = (n-1)/n
+        close(gini(&[0.0, 0.0, 0.0, 10.0]), 0.75);
+        close(gini(&[0.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // loads 1,2,3,4 → G = 0.25
+        close(gini(&[1.0, 2.0, 3.0, 4.0]), 0.25);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = gini(&[1.0, 2.0, 7.0]);
+        let b = gini(&[10.0, 20.0, 70.0]);
+        close(a, b);
+    }
+
+    #[test]
+    fn order_invariant() {
+        close(gini(&[9.0, 1.0, 5.0]), gini(&[1.0, 5.0, 9.0]));
+    }
+
+    #[test]
+    fn matches_pairwise_definition() {
+        // G = Σ_ij |xi−xj| / (2 n² mean)
+        let xs = [2.0, 3.0, 5.0, 11.0, 13.0];
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let mut pairwise = 0.0;
+        for a in xs {
+            for b in xs {
+                pairwise += (a - b).abs();
+            }
+        }
+        close(gini(&xs), pairwise / (2.0 * n * n * mean));
+    }
+
+    #[test]
+    fn lorenz_endpoints_and_monotonicity() {
+        let pts = lorenz_curve(&[1.0, 4.0, 5.0]);
+        assert_eq!(pts.first(), Some(&(0.0, 0.0)));
+        let last = *pts.last().unwrap();
+        close(last.0, 1.0);
+        close(last.1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+            // Lorenz curve lies under the diagonal
+            assert!(w[1].1 <= w[1].0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # setcorr-metrics
+//!
+//! Measurement toolkit for the `setcorr` experiments: the paper evaluates its
+//! partitioning algorithms with *communication* (average notifications per
+//! tagset), *processing-load dispersion* (Gini coefficient across
+//! Calculators), *Jaccard accuracy* against a centralized baseline, and
+//! *repartition counts*. This crate provides the statistics shared by the
+//! runtime monitors ([`gini`]) and by the experiment harness
+//! ([`Chart`]/[`Series`] for the over-time plots, [`ErrorStats`] for Fig. 5,
+//! [`Running`] for summaries).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod gini;
+pub mod series;
+pub mod stats;
+
+pub use error::ErrorStats;
+pub use gini::{gini, gini_counts, lorenz_curve};
+pub use series::{Chart, Series};
+pub use stats::{percentile, Running};

@@ -1,0 +1,189 @@
+//! Time series recording for the "evolution over time" plots (Figs. 8 and 9).
+//!
+//! The x axis of those figures is *processed documents*; each series records
+//! `(x, value)` samples plus event markers (vertical repartition lines).
+
+/// A single named series of `(x, y)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Display name (e.g. "communication", "calc-3 load").
+    pub name: String,
+    /// Samples in recording order; `x` is monotone (processed documents).
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn record(&mut self, x: u64, y: f64) {
+        debug_assert!(
+            self.points.last().map_or(true, |&(px, _)| px <= x),
+            "x must be monotone"
+        );
+        self.points.push((x, y));
+    }
+
+    /// Last recorded value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Mean of all recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A set of aligned series plus event markers — one panel of Fig. 8/9.
+#[derive(Debug, Clone, Default)]
+pub struct Chart {
+    /// Panel title (e.g. "DS Communication").
+    pub title: String,
+    /// The plotted lines.
+    pub series: Vec<Series>,
+    /// Vertical markers: `(x, label)` — repartition events with their cause.
+    pub markers: Vec<(u64, String)>,
+}
+
+impl Chart {
+    /// Create an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            series: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Get or create a series by name and return its index.
+    pub fn series_idx(&mut self, name: &str) -> usize {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            return i;
+        }
+        self.series.push(Series::new(name));
+        self.series.len() - 1
+    }
+
+    /// Record a sample into the named series.
+    pub fn record(&mut self, name: &str, x: u64, y: f64) {
+        let i = self.series_idx(name);
+        self.series[i].record(x, y);
+    }
+
+    /// Add an event marker.
+    pub fn mark(&mut self, x: u64, label: impl Into<String>) {
+        self.markers.push((x, label.into()));
+    }
+
+    /// Render as a compact ASCII table: one row per sampled x of the first
+    /// series, one column per series. Markers are rendered as `|label` rows.
+    /// This is what the `experiments` binary prints for Figs. 8/9.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "# {}", self.title).unwrap();
+        write!(out, "{:>12}", "x(docs)").unwrap();
+        for s in &self.series {
+            write!(out, " {:>14}", s.name).unwrap();
+        }
+        writeln!(out).unwrap();
+        let n_rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let mut marker_iter = self.markers.iter().peekable();
+        for row in 0..n_rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(row).map(|&(x, _)| x))
+                .unwrap_or(0);
+            while let Some(&&(mx, ref label)) = marker_iter.peek() {
+                if mx <= x {
+                    writeln!(out, "{:>12} | repartition: {}", mx, label).unwrap();
+                    marker_iter.next();
+                } else {
+                    break;
+                }
+            }
+            write!(out, "{:>12}", x).unwrap();
+            for s in &self.series {
+                match s.points.get(row) {
+                    Some(&(_, y)) => write!(out, " {:>14.4}", y).unwrap(),
+                    None => write!(out, " {:>14}", "-").unwrap(),
+                }
+            }
+            writeln!(out).unwrap();
+        }
+        for &(mx, ref label) in marker_iter {
+            writeln!(out, "{:>12} | repartition: {}", mx, label).unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut s = Series::new("comm");
+        s.record(100, 1.5);
+        s.record(200, 2.5);
+        assert_eq!(s.last(), Some(2.5));
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(Series::new("x").mean(), 0.0);
+    }
+
+    #[test]
+    fn chart_series_are_created_on_demand() {
+        let mut c = Chart::new("DS Load");
+        c.record("calc-0", 10, 0.5);
+        c.record("calc-1", 10, 0.5);
+        c.record("calc-0", 20, 0.6);
+        assert_eq!(c.series.len(), 2);
+        assert_eq!(c.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_markers_and_values() {
+        let mut c = Chart::new("t");
+        c.record("a", 10, 1.0);
+        c.record("a", 30, 2.0);
+        c.mark(20, "Load");
+        let table = c.render_table();
+        assert!(table.contains("repartition: Load"));
+        assert!(table.contains("1.0000"));
+        assert!(table.contains("2.0000"));
+        // marker row appears between the two sample rows
+        let pos_m = table.find("repartition").unwrap();
+        let pos_2 = table.find("2.0000").unwrap();
+        assert!(pos_m < pos_2);
+    }
+
+    #[test]
+    fn render_handles_ragged_series() {
+        let mut c = Chart::new("t");
+        c.record("a", 10, 1.0);
+        c.record("a", 20, 1.0);
+        c.record("b", 10, 3.0);
+        let table = c.render_table();
+        assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn trailing_markers_are_rendered() {
+        let mut c = Chart::new("t");
+        c.record("a", 10, 1.0);
+        c.mark(99, "Communication");
+        assert!(c.render_table().contains("99"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Stream documents.
+
+use crate::tagset::TagSet;
+use crate::time::Timestamp;
+
+/// One document `d_i` of the stream `D`: a tweet/post with its annotation
+/// tagset and event-time arrival stamp.
+///
+/// The document body itself never enters the system — the Parser projects
+/// each post down to `(timestamp_i, s_i)` (§6.2), which is exactly what this
+/// struct stores (plus a sequence id for bookkeeping and baselines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Monotone sequence number assigned by the source.
+    pub id: u64,
+    /// Event-time arrival stamp.
+    pub timestamp: Timestamp,
+    /// The annotation tagset `s_i` (may be empty: most tweets carry no tags).
+    pub tags: TagSet,
+}
+
+impl Document {
+    /// Construct a document.
+    pub fn new(id: u64, timestamp: Timestamp, tags: TagSet) -> Self {
+        Document {
+            id,
+            timestamp,
+            tags,
+        }
+    }
+
+    /// True if this document participates in correlation tracking (at least
+    /// one tag; single-tag documents still contribute to union counts).
+    pub fn is_tagged(&self) -> bool {
+        !self.tags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_predicate() {
+        let d = Document::new(0, Timestamp(0), TagSet::empty());
+        assert!(!d.is_tagged());
+        let d = Document::new(1, Timestamp(5), TagSet::from_ids(&[1]));
+        assert!(d.is_tagged());
+    }
+}

@@ -1,0 +1,157 @@
+//! Tags and tag interning.
+//!
+//! The paper's global tag universe `TG` contains hundreds of thousands of
+//! distinct hashtags per day. Every downstream structure (partitions,
+//! inverted indices, counters) keys on tags, so tags are interned once at the
+//! Parser and represented as dense `u32` ids everywhere else.
+
+use crate::fx::FxHashMap;
+use std::fmt;
+
+/// An interned tag (hashtag) identifier.
+///
+/// Ids are dense and allocated in first-seen order by [`TagInterner`], which
+/// makes them usable directly as indices into side tables (e.g. union-find
+/// parent arrays over the tag universe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// The dense index of this tag.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a tag from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        Tag(index as u32)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Bidirectional map between tag strings (e.g. `#munich`) and dense [`Tag`]
+/// ids.
+///
+/// The interner lives in the Parser operator; everything downstream works on
+/// ids only. Lookups of already-interned tags are a single hash probe.
+#[derive(Debug, Default, Clone)]
+pub struct TagInterner {
+    by_name: FxHashMap<Box<str>, Tag>,
+    names: Vec<Box<str>>,
+}
+
+impl TagInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (allocating a new one on first sight).
+    ///
+    /// Leading `#` characters are treated as part of the name: callers decide
+    /// on normalisation; the interner is a pure bijection.
+    pub fn intern(&mut self, name: &str) -> Tag {
+        if let Some(&tag) = self.by_name.get(name) {
+            return tag;
+        }
+        let tag = Tag::from_index(self.names.len());
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, tag);
+        tag
+    }
+
+    /// Look up an already-interned tag without allocating.
+    pub fn get(&self, name: &str) -> Option<Tag> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for an interned tag.
+    ///
+    /// # Panics
+    /// Panics if `tag` was not produced by this interner.
+    pub fn name(&self, tag: Tag) -> &str {
+        &self.names[tag.index()]
+    }
+
+    /// The string for an interned tag, or `None` for foreign ids.
+    pub fn try_name(&self, tag: Tag) -> Option<&str> {
+        self.names.get(tag.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct tags interned so far (`|TG|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(Tag, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tag, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Tag::from_index(i), &**n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = TagInterner::new();
+        let a = it.intern("#beer");
+        let b = it.intern("#beer");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_sight() {
+        let mut it = TagInterner::new();
+        assert_eq!(it.intern("#a"), Tag(0));
+        assert_eq!(it.intern("#b"), Tag(1));
+        assert_eq!(it.intern("#a"), Tag(0));
+        assert_eq!(it.intern("#c"), Tag(2));
+    }
+
+    #[test]
+    fn round_trip_name() {
+        let mut it = TagInterner::new();
+        let t = it.intern("#oktoberfest");
+        assert_eq!(it.name(t), "#oktoberfest");
+        assert_eq!(it.get("#oktoberfest"), Some(t));
+        assert_eq!(it.get("#missing"), None);
+        assert_eq!(it.try_name(Tag(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = TagInterner::new();
+        it.intern("#x");
+        it.intern("#y");
+        let v: Vec<_> = it.iter().map(|(t, n)| (t.0, n.to_string())).collect();
+        assert_eq!(v, vec![(0, "#x".to_string()), (1, "#y".to_string())]);
+    }
+
+    #[test]
+    fn case_sensitive_by_design() {
+        let mut it = TagInterner::new();
+        let a = it.intern("#Beer");
+        let b = it.intern("#beer");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,377 @@
+//! Sets of co-occurring tags.
+//!
+//! A [`TagSet`] is the annotation set `s_i = {t_1, …, t_k}` of one document.
+//! Tweets carry few tags (the paper measures a Zipf(s = 0.25) distribution
+//! with < 10 tags in practice), so tagsets are stored as short sorted arrays:
+//! membership is a binary search over at most a cache line, and
+//! intersection/union are linear merges.
+
+use crate::fx::FxHashSet;
+use crate::tag::Tag;
+use std::fmt;
+
+/// Maximum number of tags a single tagset may carry.
+///
+/// The Calculator enumerates all `2^m − 1` non-empty subsets of a received
+/// tagset (§3.1), so `m` must stay small; the paper relies on the empirical
+/// bound of < 10 tags per tweet. Parsers must truncate anything longer.
+pub const MAX_TAGS_PER_SET: usize = 16;
+
+/// An immutable, sorted, duplicate-free set of tags.
+///
+/// Ordering: `TagSet`s compare lexicographically by their sorted tag ids,
+/// which gives a deterministic total order used for reproducible tie-breaking
+/// in the partitioning algorithms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagSet {
+    tags: Box<[Tag]>,
+}
+
+impl TagSet {
+    /// Build a tagset from arbitrary tags: sorts, deduplicates, truncates to
+    /// [`MAX_TAGS_PER_SET`].
+    pub fn new(mut tags: Vec<Tag>) -> Self {
+        tags.sort_unstable();
+        tags.dedup();
+        tags.truncate(MAX_TAGS_PER_SET);
+        TagSet {
+            tags: tags.into_boxed_slice(),
+        }
+    }
+
+    /// Build from a slice of raw tag ids (test/bench convenience).
+    pub fn from_ids(ids: &[u32]) -> Self {
+        Self::new(ids.iter().map(|&i| Tag(i)).collect())
+    }
+
+    /// Build from tags that are already sorted, unique, and within the size
+    /// cap. Validated in debug builds.
+    pub fn from_sorted_unchecked(tags: Vec<Tag>) -> Self {
+        debug_assert!(tags.len() <= MAX_TAGS_PER_SET);
+        debug_assert!(tags.windows(2).all(|w| w[0] < w[1]), "must be sorted+unique");
+        TagSet {
+            tags: tags.into_boxed_slice(),
+        }
+    }
+
+    /// The empty tagset (documents without hashtags).
+    pub fn empty() -> Self {
+        TagSet { tags: Box::new([]) }
+    }
+
+    /// Number of tags.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True for documents without tags.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Sorted tags as a slice.
+    #[inline]
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// Iterate tags in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.tags.iter().copied()
+    }
+
+    /// Membership test (binary search; sets are tiny).
+    #[inline]
+    pub fn contains(&self, tag: Tag) -> bool {
+        self.tags.binary_search(&tag).is_ok()
+    }
+
+    /// `|self ∩ other|` via linear merge.
+    pub fn intersection_len(&self, other: &TagSet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.tags.len() && j < other.tags.len() {
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_len(&self, other: &TagSet) -> usize {
+        self.len() + other.len() - self.intersection_len(other)
+    }
+
+    /// True iff the sets share at least one tag (i.e. there is an edge
+    /// between their vertices in the tagset graph of §4).
+    pub fn intersects(&self, other: &TagSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.tags.len() && j < other.tags.len() {
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// True iff every tag of `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &TagSet) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < self.tags.len() {
+            if j >= other.tags.len() {
+                return false;
+            }
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// True iff every tag of `self` is a member of the hash set `cover`.
+    /// Used for the coverage test `s_i ⊆ pr_j` against partition tag sets.
+    pub fn is_covered_by(&self, cover: &FxHashSet<Tag>) -> bool {
+        self.tags.iter().all(|t| cover.contains(t))
+    }
+
+    /// Number of tags of `self` already present in `cover` (`|s_j ∩ CV|`).
+    pub fn covered_count(&self, cover: &FxHashSet<Tag>) -> usize {
+        self.tags.iter().filter(|t| cover.contains(t)).count()
+    }
+
+    /// Number of tags of `self` *not* present in `cover` (`|s_j \ CV|`).
+    pub fn uncovered_count(&self, cover: &FxHashSet<Tag>) -> usize {
+        self.len() - self.covered_count(cover)
+    }
+
+    /// `self ∩ other` as a new tagset.
+    pub fn intersection(&self, other: &TagSet) -> TagSet {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.tags.len() && j < other.tags.len() {
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tags[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        TagSet::from_sorted_unchecked(out)
+    }
+
+    /// `self ∪ other` as a new tagset (caller must keep within the size cap).
+    pub fn union(&self, other: &TagSet) -> TagSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.tags.len() && j < other.tags.len() {
+            match self.tags[i].cmp(&other.tags[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.tags[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.tags[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tags[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.tags[i..]);
+        out.extend_from_slice(&other.tags[j..]);
+        TagSet::new(out.iter().map(|t| *t).collect())
+    }
+
+    /// The subset of `self` whose tags satisfy `keep` (e.g. "tags assigned to
+    /// Calculator j" when the Disseminator builds notification payloads).
+    pub fn filter(&self, mut keep: impl FnMut(Tag) -> bool) -> TagSet {
+        let out: Vec<Tag> = self.tags.iter().copied().filter(|&t| keep(t)).collect();
+        TagSet::from_sorted_unchecked(out)
+    }
+
+    /// Enumerate all non-empty subsets of this tagset as bitmasks over
+    /// `self.tags()` (LSB = smallest tag). The Calculator maintains one
+    /// counter per subset (§3.1).
+    ///
+    /// The iterator yields `2^len − 1` masks; `len` is capped by
+    /// [`MAX_TAGS_PER_SET`].
+    pub fn subset_masks(&self) -> impl Iterator<Item = u32> {
+        let n = self.tags.len() as u32;
+        1..(1u32 << n)
+    }
+
+    /// Materialise the subset encoded by `mask` (as produced by
+    /// [`TagSet::subset_masks`]).
+    pub fn subset(&self, mask: u32) -> TagSet {
+        let mut out = Vec::with_capacity(mask.count_ones() as usize);
+        for (i, &t) in self.tags.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                out.push(t);
+            }
+        }
+        TagSet::from_sorted_unchecked(out)
+    }
+}
+
+fn fmt_tagset(tags: &[Tag], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, t) in tags.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{}", t)?;
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Debug for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tagset(&self.tags, f)
+    }
+}
+
+impl fmt::Display for TagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tagset(&self.tags, f)
+    }
+}
+
+impl<'a> IntoIterator for &'a TagSet {
+    type Item = Tag;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Tag>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tags.iter().copied()
+    }
+}
+
+impl FromIterator<Tag> for TagSet {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        TagSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = ts(&[3, 1, 3, 2, 1]);
+        assert_eq!(s.tags(), &[Tag(1), Tag(2), Tag(3)]);
+    }
+
+    #[test]
+    fn truncates_to_cap() {
+        let ids: Vec<u32> = (0..40).collect();
+        let s = TagSet::from_ids(&ids);
+        assert_eq!(s.len(), MAX_TAGS_PER_SET);
+    }
+
+    #[test]
+    fn membership_and_len() {
+        let s = ts(&[5, 9, 2]);
+        assert!(s.contains(Tag(5)));
+        assert!(!s.contains(Tag(4)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(TagSet::empty().is_empty());
+    }
+
+    #[test]
+    fn intersection_union_lengths() {
+        let a = ts(&[1, 2, 3, 4]);
+        let b = ts(&[3, 4, 5]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.union_len(&b), 5);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&ts(&[9])));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = ts(&[2, 4]);
+        let b = ts(&[1, 2, 3, 4]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(ts(&[]).is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(!ts(&[2, 5]).is_subset_of(&b));
+    }
+
+    #[test]
+    fn cover_counting() {
+        let mut cv = FxHashSet::default();
+        cv.insert(Tag(1));
+        cv.insert(Tag(3));
+        let s = ts(&[1, 2, 3, 4]);
+        assert_eq!(s.covered_count(&cv), 2);
+        assert_eq!(s.uncovered_count(&cv), 2);
+        assert!(!s.is_covered_by(&cv));
+        cv.insert(Tag(2));
+        cv.insert(Tag(4));
+        assert!(s.is_covered_by(&cv));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ts(&[1, 2, 3]);
+        let b = ts(&[2, 3, 4]);
+        assert_eq!(a.intersection(&b), ts(&[2, 3]));
+        assert_eq!(a.union(&b), ts(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn filter_projects_assigned_tags() {
+        let s = ts(&[1, 2, 3, 4]);
+        let owned = s.filter(|t| t.0 % 2 == 0);
+        assert_eq!(owned, ts(&[2, 4]));
+    }
+
+    #[test]
+    fn subset_masks_enumerate_powerset() {
+        let s = ts(&[10, 20, 30]);
+        let subsets: Vec<TagSet> = s.subset_masks().map(|m| s.subset(m)).collect();
+        assert_eq!(subsets.len(), 7);
+        assert!(subsets.contains(&ts(&[10])));
+        assert!(subsets.contains(&ts(&[20, 30])));
+        assert!(subsets.contains(&ts(&[10, 20, 30])));
+        // all distinct
+        let uniq: std::collections::BTreeSet<_> = subsets.iter().cloned().collect();
+        assert_eq!(uniq.len(), 7);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let a = ts(&[1, 2]);
+        let b = ts(&[1, 3]);
+        assert!(a < b);
+    }
+}

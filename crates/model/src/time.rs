@@ -1,0 +1,139 @@
+//! Event time.
+//!
+//! Everything in this system is driven by *event time* carried on the
+//! documents themselves (the `timestamp_i` the Parser attaches in §6.2), not
+//! by wall clocks. This makes runs deterministic and lets experiments replay
+//! a "6-hour" stream in seconds: windows (`W`), report periods (`y`) and
+//! statistics batches are all expressed against these timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in event time, in milliseconds since the start of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// A span of event time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(pub u64);
+
+impl Timestamp {
+    /// Stream origin.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Milliseconds since stream start.
+    #[inline]
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier` (saturating).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl TimeDelta {
+    /// Zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeDelta(ms)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta(s * 1_000)
+    }
+
+    /// Construct from whole minutes (the paper's window sizes: 2/5/10/20 min).
+    #[inline]
+    pub const fn from_minutes(m: u64) -> Self {
+        TimeDelta(m * 60_000)
+    }
+
+    /// Span in milliseconds.
+    #[inline]
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Span in (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        self.since(rhs)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    #[inline]
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(TimeDelta::from_secs(2).millis(), 2_000);
+        assert_eq!(TimeDelta::from_minutes(5), TimeDelta::from_secs(300));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp(1_000) + TimeDelta::from_secs(1);
+        assert_eq!(t, Timestamp(2_000));
+        assert_eq!(t - Timestamp(500), TimeDelta(1_500));
+        // saturating difference
+        assert_eq!(Timestamp(10).since(Timestamp(100)), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp(61_250).to_string(), "61.250s");
+        assert_eq!(TimeDelta(42).to_string(), "42ms");
+    }
+}

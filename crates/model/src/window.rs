@@ -1,0 +1,280 @@
+//! Sliding windows over the tagset stream.
+//!
+//! Partitioners "maintain a sliding window of size W over the incoming
+//! tagsets … conceptually time-based (e.g. capturing 5 minutes of tweets) or
+//! count-based (e.g. 10000 tweets)" (§6.2). [`TagSetWindow`] implements both
+//! flavours and aggregates the window contents into distinct tagsets with
+//! occurrence counts — exactly the input shape the partitioning algorithms
+//! need (`S` with per-tagset loads).
+
+use crate::fx::FxHashMap;
+use crate::tagset::TagSet;
+use crate::time::{TimeDelta, Timestamp};
+use std::collections::VecDeque;
+
+/// Window extent: event-time span or document count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Keep documents whose timestamp is within the last `W` of event time.
+    Time(TimeDelta),
+    /// Keep the most recent `n` documents.
+    Count(usize),
+}
+
+/// One distinct tagset currently in the window together with its occurrence
+/// count (`|{d | s annotates d}|` restricted to the window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagSetStat {
+    /// The distinct tagset.
+    pub tags: TagSet,
+    /// How many window documents carry exactly this tagset.
+    pub count: u64,
+}
+
+/// Sliding window over `(Timestamp, TagSet)` insertions, maintaining distinct
+/// tagset counts incrementally.
+///
+/// Eviction is driven by [`TagSetWindow::insert`]'s timestamps (event time);
+/// there is no wall-clock dependency.
+#[derive(Debug)]
+pub struct TagSetWindow {
+    kind: WindowKind,
+    /// FIFO of live documents as (arrival, slot id).
+    entries: VecDeque<(Timestamp, u32)>,
+    /// Slot id → stat; empty slots are recycled via `free`.
+    slots: Vec<TagSetStat>,
+    index: FxHashMap<TagSet, u32>,
+    free: Vec<u32>,
+    /// Count of live (non-evicted) documents.
+    live_docs: u64,
+    /// Total documents ever inserted.
+    total_docs: u64,
+}
+
+impl TagSetWindow {
+    /// Create an empty window of the given extent.
+    pub fn new(kind: WindowKind) -> Self {
+        TagSetWindow {
+            kind,
+            entries: VecDeque::new(),
+            slots: Vec::new(),
+            index: FxHashMap::default(),
+            free: Vec::new(),
+            live_docs: 0,
+            total_docs: 0,
+        }
+    }
+
+    /// Convenience: time-based window.
+    pub fn time(span: TimeDelta) -> Self {
+        Self::new(WindowKind::Time(span))
+    }
+
+    /// Convenience: count-based window.
+    pub fn count(n: usize) -> Self {
+        Self::new(WindowKind::Count(n))
+    }
+
+    /// The configured extent.
+    pub fn kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Insert one document's tagset arriving at `at`, then evict everything
+    /// that fell out of the window. Timestamps must be non-decreasing.
+    pub fn insert(&mut self, tags: TagSet, at: Timestamp) {
+        let slot = match self.index.get(&tags) {
+            Some(&s) => {
+                self.slots[s as usize].count += 1;
+                s
+            }
+            None => {
+                let s = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = TagSetStat {
+                            tags: tags.clone(),
+                            count: 1,
+                        };
+                        s
+                    }
+                    None => {
+                        let s = self.slots.len() as u32;
+                        self.slots.push(TagSetStat {
+                            tags: tags.clone(),
+                            count: 1,
+                        });
+                        s
+                    }
+                };
+                self.index.insert(tags, s);
+                s
+            }
+        };
+        self.entries.push_back((at, slot));
+        self.live_docs += 1;
+        self.total_docs += 1;
+        self.evict(at);
+    }
+
+    /// Evict expired entries given the current event time.
+    pub fn evict(&mut self, now: Timestamp) {
+        match self.kind {
+            WindowKind::Time(span) => {
+                // A document at time t stays while now − t < span.
+                while let Some(&(t, slot)) = self.entries.front() {
+                    if now.since(t) < span {
+                        break;
+                    }
+                    self.entries.pop_front();
+                    self.release(slot);
+                }
+            }
+            WindowKind::Count(n) => {
+                while self.entries.len() > n {
+                    let (_, slot) = self.entries.pop_front().expect("len > n > 0");
+                    self.release(slot);
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.live_docs -= 1;
+        let stat = &mut self.slots[slot as usize];
+        stat.count -= 1;
+        if stat.count == 0 {
+            self.index.remove(&stat.tags);
+            stat.tags = TagSet::empty();
+            self.free.push(slot);
+        }
+    }
+
+    /// Documents currently inside the window.
+    pub fn live_docs(&self) -> u64 {
+        self.live_docs
+    }
+
+    /// Documents ever inserted.
+    pub fn total_docs(&self) -> u64 {
+        self.total_docs
+    }
+
+    /// Number of distinct tagsets currently inside the window.
+    pub fn distinct_tagsets(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Occurrence count of a specific tagset in the window.
+    pub fn count_of(&self, tags: &TagSet) -> u64 {
+        self.index
+            .get(tags)
+            .map(|&s| self.slots[s as usize].count)
+            .unwrap_or(0)
+    }
+
+    /// Materialise the distinct tagsets and counts, sorted by tagset for
+    /// deterministic downstream processing.
+    pub fn snapshot(&self) -> Vec<TagSetStat> {
+        let mut out: Vec<TagSetStat> = self
+            .index
+            .values()
+            .map(|&s| self.slots[s as usize].clone())
+            .collect();
+        out.sort_unstable_by(|a, b| a.tags.cmp(&b.tags));
+        out
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.slots.clear();
+        self.index.clear();
+        self.free.clear();
+        self.live_docs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn count_window_evicts_oldest() {
+        let mut w = TagSetWindow::count(2);
+        w.insert(ts(&[1]), Timestamp(0));
+        w.insert(ts(&[2]), Timestamp(1));
+        w.insert(ts(&[3]), Timestamp(2));
+        assert_eq!(w.live_docs(), 2);
+        assert_eq!(w.count_of(&ts(&[1])), 0);
+        assert_eq!(w.count_of(&ts(&[2])), 1);
+        assert_eq!(w.count_of(&ts(&[3])), 1);
+    }
+
+    #[test]
+    fn time_window_evicts_by_span() {
+        let mut w = TagSetWindow::time(TimeDelta::from_secs(10));
+        w.insert(ts(&[1]), Timestamp(0));
+        w.insert(ts(&[2]), Timestamp(5_000));
+        w.insert(ts(&[3]), Timestamp(9_999));
+        assert_eq!(w.live_docs(), 3);
+        // at t=10s the t=0 doc has age exactly 10s and must leave
+        w.insert(ts(&[4]), Timestamp(10_000));
+        assert_eq!(w.count_of(&ts(&[1])), 0);
+        assert_eq!(w.live_docs(), 3);
+    }
+
+    #[test]
+    fn duplicate_tagsets_aggregate() {
+        let mut w = TagSetWindow::count(10);
+        for i in 0..4 {
+            w.insert(ts(&[7, 8]), Timestamp(i));
+        }
+        w.insert(ts(&[9]), Timestamp(4));
+        assert_eq!(w.distinct_tagsets(), 2);
+        assert_eq!(w.count_of(&ts(&[7, 8])), 4);
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 2);
+        let total: u64 = snap.iter().map(|s| s.count).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut w = TagSetWindow::count(1);
+        for i in 0..100u32 {
+            w.insert(ts(&[i]), Timestamp(i as u64));
+        }
+        // only one live doc → at most 2 slots ever needed (old + new)
+        assert!(w.slots.len() <= 2, "slots grew to {}", w.slots.len());
+        assert_eq!(w.distinct_tagsets(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_live_only() {
+        let mut w = TagSetWindow::count(3);
+        w.insert(ts(&[5]), Timestamp(0));
+        w.insert(ts(&[1]), Timestamp(1));
+        w.insert(ts(&[3]), Timestamp(2));
+        w.insert(ts(&[2]), Timestamp(3)); // evicts {5}
+        let snap = w.snapshot();
+        let sets: Vec<TagSet> = snap.into_iter().map(|s| s.tags).collect();
+        assert_eq!(sets, vec![ts(&[1]), ts(&[2]), ts(&[3])]);
+    }
+
+    #[test]
+    fn totals_track_inserts() {
+        let mut w = TagSetWindow::count(2);
+        for i in 0..5 {
+            w.insert(ts(&[1]), Timestamp(i));
+        }
+        assert_eq!(w.total_docs(), 5);
+        assert_eq!(w.live_docs(), 2);
+        w.clear();
+        assert_eq!(w.live_docs(), 0);
+        assert_eq!(w.distinct_tagsets(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Bloom filters over document ids.
+//!
+//! §2 considers representing "the sets of documents annotated with each tag"
+//! with Bloom filters to accelerate intersections. This is that
+//! representation — including the cardinality and intersection *estimators*
+//! such a design needs — so the false-positive cost the paper predicts can
+//! be measured instead of asserted.
+
+fn mix(mut z: u64) -> u64 {
+    // splitmix64 finaliser — strong avalanche for double hashing
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-size Bloom filter with `k` hash functions (double hashing).
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Filter with `m` bits (rounded up to a multiple of 64) and `k` hashes.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m >= 64, "need at least 64 bits");
+        assert!(k >= 1, "need at least one hash");
+        let words = m.div_ceil(64);
+        BloomFilter {
+            bits: vec![0; words],
+            m: words * 64,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Filter sized for `n` expected elements at ~`bits_per_element`
+    /// bits each, with the optimal hash count `k = bits·ln 2`.
+    pub fn with_capacity(n: usize, bits_per_element: usize) -> Self {
+        let m = (n * bits_per_element).max(64);
+        let k = ((bits_per_element as f64) * std::f64::consts::LN_2).round() as u32;
+        Self::new(m, k.max(1))
+    }
+
+    /// Number of bits.
+    pub fn bits(&self) -> usize {
+        self.m
+    }
+
+    /// Number of hash functions.
+    pub fn hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// Elements inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    #[inline]
+    fn positions(&self, item: u64) -> impl Iterator<Item = usize> + '_ {
+        // Kirsch–Mitzenmacher double hashing: h_i = h1 + i·h2.
+        let h1 = mix(item ^ 0x9E37_79B9_7F4A_7C15);
+        let h2 = mix(item ^ 0xD1B5_4A32_D192_ED03) | 1;
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+    }
+
+    /// Insert a document id.
+    pub fn insert(&mut self, item: u64) {
+        for pos in self.positions(item).collect::<Vec<_>>() {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test: false negatives never happen; false positives at
+    /// roughly `(1 − e^{−kn/m})^k`.
+    pub fn contains(&self, item: u64) -> bool {
+        self.positions(item)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Bits currently set.
+    pub fn popcount(&self) -> u64 {
+        self.bits.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Classic cardinality estimate `n̂ = −(m/k)·ln(1 − X/m)` from the `X`
+    /// set bits.
+    pub fn estimate_cardinality(&self) -> f64 {
+        let x = self.popcount() as f64;
+        let m = self.m as f64;
+        if x >= m {
+            return f64::INFINITY;
+        }
+        -(m / self.k as f64) * (1.0 - x / m).ln()
+    }
+
+    /// Estimated `|A ∩ B|` via `n̂_A + n̂_B − n̂_{A∪B}` (bitwise-OR union) —
+    /// what a sketch-based co-occurrence test has to rely on.
+    pub fn estimate_intersection(&self, other: &BloomFilter) -> f64 {
+        assert_eq!(self.m, other.m, "incompatible filter sizes");
+        assert_eq!(self.k, other.k, "incompatible hash counts");
+        let union_popcount: u64 = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a | b).count_ones() as u64)
+            .sum();
+        let m = self.m as f64;
+        let x = union_popcount as f64;
+        if x >= m {
+            return f64::INFINITY;
+        }
+        let union_est = -(m / self.k as f64) * (1.0 - x / m).ln();
+        (self.estimate_cardinality() + other.estimate_cardinality() - union_est).max(0.0)
+    }
+
+    /// Theoretical false-positive probability at the current fill.
+    pub fn theoretical_fpp(&self) -> f64 {
+        let fill = self.popcount() as f64 / self.m as f64;
+        fill.powi(self.k as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = BloomFilter::with_capacity(1_000, 8);
+        for i in 0..1_000u64 {
+            bloom.insert(i * 7 + 3);
+        }
+        for i in 0..1_000u64 {
+            assert!(bloom.contains(i * 7 + 3), "lost element {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        let mut bloom = BloomFilter::with_capacity(5_000, 8);
+        for i in 0..5_000u64 {
+            bloom.insert(i);
+        }
+        let mut fps = 0;
+        let probes = 50_000u64;
+        for i in 0..probes {
+            if bloom.contains(1_000_000 + i) {
+                fps += 1;
+            }
+        }
+        let measured = fps as f64 / probes as f64;
+        let predicted = bloom.theoretical_fpp();
+        // 8 bits/elem, k=6 → ~2.2 % predicted
+        assert!(
+            (measured - predicted).abs() < 0.01,
+            "measured {measured:.4} vs predicted {predicted:.4}"
+        );
+    }
+
+    #[test]
+    fn cardinality_estimate_is_close() {
+        let mut bloom = BloomFilter::with_capacity(10_000, 10);
+        for i in 0..8_000u64 {
+            bloom.insert(i);
+        }
+        let est = bloom.estimate_cardinality();
+        assert!(
+            (est - 8_000.0).abs() < 400.0,
+            "estimated {est} for 8000 inserts"
+        );
+    }
+
+    #[test]
+    fn intersection_estimate_tracks_overlap() {
+        let mut a = BloomFilter::with_capacity(4_000, 10);
+        let mut b = BloomFilter::with_capacity(4_000, 10);
+        for i in 0..3_000u64 {
+            a.insert(i);
+        }
+        for i in 2_000..5_000u64 {
+            b.insert(i);
+        }
+        let est = a.estimate_intersection(&b);
+        assert!((est - 1_000.0).abs() < 250.0, "estimated {est} for 1000 shared");
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let mut a = BloomFilter::with_capacity(2_000, 10);
+        let mut b = BloomFilter::with_capacity(2_000, 10);
+        for i in 0..1_000u64 {
+            a.insert(i);
+            b.insert(100_000 + i);
+        }
+        let est = a.estimate_intersection(&b);
+        assert!(est < 100.0, "disjoint sets estimated at {est}");
+    }
+
+    #[test]
+    fn rounds_bits_up_to_words() {
+        let bloom = BloomFilter::new(100, 3);
+        assert_eq!(bloom.bits(), 128);
+        assert_eq!(bloom.hashes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn mismatched_sizes_panic() {
+        let a = BloomFilter::new(128, 3);
+        let b = BloomFilter::new(256, 3);
+        a.estimate_intersection(&b);
+    }
+}

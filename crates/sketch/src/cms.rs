@@ -1,0 +1,173 @@
+//! Count-Min sketch over pair keys.
+//!
+//! The alternative §2 design: count tag-pair co-occurrences directly in a
+//! Count-Min sketch instead of exact per-tagset counters. Point queries
+//! never under-count, so every hash collision manufactures a phantom
+//! co-occurrence — the overhead the paper predicts.
+
+use setcorr_model::fx;
+
+/// A `depth × width` Count-Min sketch with conservative update.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    rows: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width >= 16, "width too small");
+        assert!(depth >= 1, "need at least one row");
+        CountMinSketch {
+            width,
+            depth,
+            rows: vec![vec![0; width]; depth],
+            total: 0,
+        }
+    }
+
+    /// Sketch meeting the classic `(ε, δ)` guarantee: overestimation ≤ ε·N
+    /// with probability ≥ 1 − δ (width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉).
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil() as usize;
+        Self::new(width.max(16), depth.max(1))
+    }
+
+    /// Sketch dimensions `(width, depth)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.depth)
+    }
+
+    /// Total increments (the stream length `N`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn column(&self, row: usize, key: u64) -> usize {
+        (fx::hash_u64(key ^ (row as u64).wrapping_mul(0xA24B_AED4_963E_E407)) % self.width as u64)
+            as usize
+    }
+
+    /// Add `count` occurrences of `key` (conservative update: only the
+    /// minimal counters grow, tightening the estimate at no cost).
+    pub fn add(&mut self, key: u64, count: u64) {
+        let current = self.query(key);
+        let target = current + count;
+        for row in 0..self.depth {
+            let col = self.column(row, key);
+            let cell = &mut self.rows[row][col];
+            if *cell < target {
+                *cell = target;
+            }
+        }
+        self.total += count;
+    }
+
+    /// Point query: an upper bound on the true count (never under-counts).
+    pub fn query(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.rows[row][self.column(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// A stable key for an unordered tag pair.
+pub fn pair_key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ((hi as u64) << 32) | lo as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut cms = CountMinSketch::new(64, 4);
+        for key in 0..500u64 {
+            cms.add(key, key % 7 + 1);
+        }
+        for key in 0..500u64 {
+            assert!(cms.query(key) >= key % 7 + 1, "undercount at {key}");
+        }
+    }
+
+    #[test]
+    fn epsilon_bound_holds_for_most_keys() {
+        let mut cms = CountMinSketch::with_error(0.01, 0.01);
+        let n = 20_000u64;
+        for key in 0..n {
+            cms.add(key, 1);
+        }
+        let epsilon_n = (0.01 * cms.total() as f64).ceil() as u64;
+        let mut violations = 0;
+        for key in 0..n {
+            if cms.query(key) > 1 + epsilon_n {
+                violations += 1;
+            }
+        }
+        assert!(
+            (violations as f64) < 0.02 * n as f64,
+            "{violations} of {n} keys exceeded the (ε, δ) bound"
+        );
+    }
+
+    #[test]
+    fn absent_keys_can_read_positive() {
+        // the defining failure mode for co-occurrence testing
+        let mut cms = CountMinSketch::new(32, 2);
+        for key in 0..5_000u64 {
+            cms.add(key, 1);
+        }
+        let phantom = (5_000..6_000u64).filter(|&k| cms.query(k) > 0).count();
+        assert!(phantom > 0, "a crowded sketch must produce phantom counts");
+    }
+
+    #[test]
+    fn conservative_update_is_tighter_or_equal() {
+        // conservative update can only lower estimates vs plain update
+        let keys: Vec<u64> = (0..2_000).map(|i| (i * 31) % 997).collect();
+        let mut conservative = CountMinSketch::new(64, 3);
+        for &k in &keys {
+            conservative.add(k, 1);
+        }
+        // plain update reference
+        let mut plain = vec![vec![0u64; 64]; 3];
+        for &k in &keys {
+            for row in 0..3 {
+                let col = conservative.column(row, k);
+                plain[row][col] += 1;
+            }
+        }
+        for &k in &keys {
+            let plain_est = (0..3)
+                .map(|row| plain[row][conservative.column(row, k)])
+                .min()
+                .unwrap();
+            assert!(conservative.query(k) <= plain_est);
+        }
+    }
+
+    #[test]
+    fn pair_key_is_order_invariant_and_injective() {
+        assert_eq!(pair_key(3, 9), pair_key(9, 3));
+        assert_ne!(pair_key(3, 9), pair_key(3, 10));
+        assert_ne!(pair_key(0, 1), pair_key(1, 2));
+    }
+
+    #[test]
+    fn with_error_dimensions() {
+        let cms = CountMinSketch::with_error(0.001, 0.01);
+        let (w, d) = cms.dims();
+        assert!(w >= 2718);
+        assert!(d >= 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! # setcorr-sketch
+//!
+//! Probabilistic sketches and the *quantified* version of the paper's §2
+//! argument: Bloom filters / Count-Min sketches have been proposed to
+//! accelerate set intersection, but "in a setting as ours were most of the
+//! tags do in fact not co-occur … using sketches will pose a significant
+//! overhead forcing us to consider many non co-occurring tags".
+//!
+//! * [`BloomFilter`] — per-tag document-set filters with cardinality and
+//!   intersection estimators,
+//! * [`CountMinSketch`] — pair-count sketching with conservative update,
+//! * [`SketchCooccurrence`] — the sketch-based co-occurrence design plus the
+//!   spurious-pair overhead measurement (`experiments sketch`).
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod cms;
+pub mod cooccur;
+
+pub use bloom::BloomFilter;
+pub use cms::{pair_key, CountMinSketch};
+pub use cooccur::{OverheadReport, SketchCooccurrence};

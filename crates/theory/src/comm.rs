@@ -1,0 +1,110 @@
+//! Expected communication model (§5.2).
+//!
+//! For equal-sized, randomly created partitions, the expected number of
+//! partitions a single tweet must be sent to ("communication load"; 1 means
+//! zero overhead) is
+//!
+//! `E[comm] = k × (1 − (C(v−m, m) / C(v, m))^{n/k})`
+//!
+//! with vocabulary size `v`, `n` tweets over which partitions were formed,
+//! `k` partitions and `m` tags per tweet. Small vocabulary + many tags per
+//! tweet ⇒ every tweet goes everywhere (the "knockout blow"); Twitter-like
+//! large `v`, small `m` ⇒ tractable.
+
+use crate::math::ln_choose;
+
+/// Evaluate the §5.2 expected-communication formula.
+///
+/// Stays in log space for the binomial ratio so Twitter-scale vocabularies
+/// (`v = 600 000`) are exact. Result is in `[0, k]`; for `n ≥ k` and `2m ≤ v`
+/// it is at least the no-overlap ideal of ~1.
+pub fn expected_communication(v: u64, n: u64, k: u64, m: u64) -> f64 {
+    assert!(k >= 1, "need at least one partition");
+    assert!(m >= 1, "tweets need at least one tag");
+    if 2 * m > v {
+        // C(v−m, m) = 0: every partition is hit by every tweet.
+        return k as f64;
+    }
+    // ln of the probability that a random m-subset avoids a fixed m-subset.
+    let ln_avoid = ln_choose((v - m) as f64, m as f64) - ln_choose(v as f64, m as f64);
+    let per_partition_tweets = n as f64 / k as f64;
+    // (avoid)^(n/k) — probability the partition shares no tag with the tweet.
+    let p_untouched = (ln_avoid * per_partition_tweets).exp();
+    k as f64 * (1.0 - p_untouched)
+}
+
+/// The communication *overhead* relative to the ideal of 1 message.
+pub fn communication_overhead(v: u64, n: u64, k: u64, m: u64) -> f64 {
+    (expected_communication(v, n, k, m) - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_vocab_many_tags_hits_all_partitions() {
+        // §5.2: "for small vocabulary and large number of tags per tweet,
+        // each incoming tweet needs to be sent to (almost) all partitions"
+        let e = expected_communication(20, 10_000, 10, 8);
+        assert!(e > 9.9, "E = {e}");
+        // degenerate 2m > v case
+        assert_eq!(expected_communication(10, 100, 5, 8), 5.0);
+    }
+
+    #[test]
+    fn large_vocab_few_tags_is_tractable() {
+        // Twitter-like: v = 600 000, m = 2 → close to the ideal of ~1.
+        let e = expected_communication(600_000, 10_000, 10, 2);
+        assert!(e < 1.1, "E = {e}");
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_partitions() {
+        let mut prev = 0.0;
+        for k in [2u64, 5, 10, 20] {
+            let e = expected_communication(10_000, 100_000, k, 4);
+            assert!(e >= prev, "k={k}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn monotone_in_tags_per_tweet() {
+        let mut prev = 0.0;
+        for m in 1u64..=8 {
+            let e = expected_communication(10_000, 50_000, 10, m);
+            assert!(e >= prev, "m={m}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn monotone_in_tweet_count() {
+        // More tweets per partition → more tags per partition → more overlap.
+        let a = expected_communication(50_000, 1_000, 10, 3);
+        let b = expected_communication(50_000, 100_000, 10, 3);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn bounded_by_k() {
+        for (v, n, k, m) in [(100u64, 10u64, 4u64, 3u64), (1_000, 1_000_000, 7, 8)] {
+            let e = expected_communication(v, n, k, m);
+            assert!(e >= 0.0 && e <= k as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn overhead_is_relative_to_one() {
+        let e = expected_communication(600_000, 10_000, 10, 2);
+        let o = communication_overhead(600_000, 10_000, 10, 2);
+        assert!((o - (e - 1.0).max(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tweets_means_zero_messages() {
+        assert_eq!(expected_communication(1_000, 0, 10, 3), 0.0);
+    }
+}

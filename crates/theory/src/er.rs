@@ -1,0 +1,182 @@
+//! Erdős–Rényi regime analysis of the tag co-occurrence graph (§5.1).
+//!
+//! Modelling a random tagger, the tag graph `G` (vertices = tags, edges =
+//! co-occurring pairs) is `G(n, M)` with `M = C(n,2)·p`. Erdős–Rényi theory
+//! predicts: for `np < 1` no component exceeds `O(log n)` (the Disjoint Sets
+//! algorithm thrives); for `np > 1` a giant component of `Θ(n)` vertices
+//! emerges (DS degenerates to one huge partition).
+
+use crate::zipf::expected_edges;
+
+/// The connectivity regime of `G(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `np < 1`: all components are `O(log n)` — DS-friendly.
+    Subcritical,
+    /// `np ≈ 1`: the phase transition (paper leaves this case out).
+    Critical,
+    /// `np > 1`: one giant component of linear size emerges.
+    Supercritical,
+}
+
+/// `np` for a graph over `n_tags` vertices with `m_edges` expected edges:
+/// `p = M / C(n,2)` hence `np = 2M / (n − 1)`.
+pub fn np_value(n_tags: f64, m_edges: f64) -> f64 {
+    assert!(n_tags > 1.0, "need at least two vertices");
+    2.0 * m_edges / (n_tags - 1.0)
+}
+
+/// Classify the regime, using a ±2 % band around 1 as "critical".
+pub fn regime(np: f64) -> Regime {
+    if np < 0.98 {
+        Regime::Subcritical
+    } else if np <= 1.02 {
+        Regime::Critical
+    } else {
+        Regime::Supercritical
+    }
+}
+
+/// Expected fraction ζ of vertices in the giant component for `np = c > 1`,
+/// the unique positive root of `ζ = 1 − e^{−cζ}` (0 for `c ≤ 1`).
+///
+/// Solved by fixed-point iteration, which converges for all `c > 1`.
+pub fn giant_component_fraction(c: f64) -> f64 {
+    if c <= 1.0 {
+        return 0.0;
+    }
+    let mut z = 0.5;
+    for _ in 0..200 {
+        let next = 1.0 - (-c * z).exp();
+        if (next - z).abs() < 1e-12 {
+            return next;
+        }
+        z = next;
+    }
+    z
+}
+
+/// A scenario from §5.1: a window of tweets over the Twitter-scale stream.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowScenario {
+    /// Distinct tags in the universe (paper: 600 000).
+    pub distinct_tags: f64,
+    /// Distinct tweets per day (paper's worst case: 7 million).
+    pub distinct_tweets_per_day: f64,
+    /// Window length in minutes.
+    pub window_minutes: f64,
+    /// Maximum tags per tweet assumed for the Zipf model.
+    pub mmax: u32,
+    /// Zipf skew (paper: 0.25).
+    pub skew: f64,
+}
+
+impl WindowScenario {
+    /// The paper's headline configuration (§5.1).
+    pub fn paper(window_minutes: f64, mmax: u32) -> Self {
+        WindowScenario {
+            distinct_tags: 600_000.0,
+            distinct_tweets_per_day: 7_000_000.0,
+            window_minutes,
+            mmax,
+            skew: 0.25,
+        }
+    }
+
+    /// Distinct tweets inside the window.
+    pub fn window_tweets(&self) -> f64 {
+        self.distinct_tweets_per_day * self.window_minutes / (24.0 * 60.0)
+    }
+
+    /// Expected edges `E[M]` for the window.
+    pub fn expected_edges(&self) -> f64 {
+        expected_edges(self.window_tweets(), self.mmax, self.skew)
+    }
+
+    /// `np` for the window's tag graph.
+    pub fn np(&self) -> f64 {
+        np_value(self.distinct_tags, self.expected_edges())
+    }
+
+    /// Regime classification for the window.
+    pub fn regime(&self) -> Regime {
+        regime(self.np())
+    }
+}
+
+/// `np` computed from *measured* distinct tag pairs instead of the Zipf
+/// model — the paper's empirical cross-check (34 000 distinct pairs per 10
+/// minutes → np = 0.11, far below the model's 1.52).
+pub fn np_from_measured_pairs(n_tags: f64, distinct_pairs: f64) -> f64 {
+    np_value(n_tags, distinct_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_np_five_minutes_mmax8() {
+        // §5.1: "a 5 minute window of tweets leads to an np value of 0.76,
+        // if a maximal value of mmax = 8 tags per tweet is assumed"
+        let s = WindowScenario::paper(5.0, 8);
+        let np = s.np();
+        assert!((np - 0.76).abs() < 0.05, "np = {np}");
+        assert_eq!(s.regime(), Regime::Subcritical);
+    }
+
+    #[test]
+    fn paper_np_ten_minutes_mmax8() {
+        // §5.1: "For a 10 minute window, we get np = 1.52"
+        let s = WindowScenario::paper(10.0, 8);
+        let np = s.np();
+        assert!((np - 1.52).abs() < 0.08, "np = {np}");
+        assert_eq!(s.regime(), Regime::Supercritical);
+    }
+
+    #[test]
+    fn paper_np_ten_minutes_mmax6() {
+        // §5.1: "np = 0.85 for mmax = 6"
+        let s = WindowScenario::paper(10.0, 6);
+        let np = s.np();
+        assert!((np - 0.85).abs() < 0.05, "np = {np}");
+        assert_eq!(s.regime(), Regime::Subcritical);
+    }
+
+    #[test]
+    fn paper_np_from_measured_pairs() {
+        // §5.1: 34 000 distinct pairs / 10 min → np = 0.11
+        let np = np_from_measured_pairs(600_000.0, 34_000.0);
+        assert!((np - 0.11).abs() < 0.01, "np = {np}");
+    }
+
+    #[test]
+    fn regime_bands() {
+        assert_eq!(regime(0.5), Regime::Subcritical);
+        assert_eq!(regime(1.0), Regime::Critical);
+        assert_eq!(regime(1.5), Regime::Supercritical);
+    }
+
+    #[test]
+    fn giant_component_known_values() {
+        assert_eq!(giant_component_fraction(0.9), 0.0);
+        assert_eq!(giant_component_fraction(1.0), 0.0);
+        // c = 2: ζ ≈ 0.7968
+        let z = giant_component_fraction(2.0);
+        assert!((z - 0.7968).abs() < 1e-3, "ζ = {z}");
+        // grows towards 1
+        assert!(giant_component_fraction(5.0) > 0.99);
+        // self-consistency: ζ = 1 − e^{−cζ}
+        for c in [1.2, 1.5, 3.0] {
+            let z = giant_component_fraction(c);
+            assert!((z - (1.0 - (-c * z).exp())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn np_scales_with_window() {
+        let a = WindowScenario::paper(5.0, 8).np();
+        let b = WindowScenario::paper(10.0, 8).np();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! # setcorr-theory
+//!
+//! The analytic models of §5 of *Tracking Set Correlations at Large Scale*:
+//!
+//! * [`zipf`] — the measured Zipf(s = 0.25) tags-per-tweet law and the
+//!   expected edge count `E[M]` of the tag co-occurrence graph,
+//! * [`er`] — Erdős–Rényi `np` regime analysis predicting when the Disjoint
+//!   Sets algorithm is applicable (no giant component) and when it breaks,
+//! * [`comm`] — the expected communication load of random equal-sized
+//!   partitions (§5.2),
+//! * [`math`] — log-gamma / log-binomial support.
+//!
+//! The unit tests pin the exact numbers the paper reports (np = 0.76 / 1.52 /
+//! 0.85 / 0.11), so any drift in the models is caught.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod er;
+pub mod math;
+pub mod zipf;
+
+pub use comm::{communication_overhead, expected_communication};
+pub use er::{giant_component_fraction, np_from_measured_pairs, np_value, regime, Regime, WindowScenario};
+pub use math::{choose, ln_choose, ln_gamma};
+pub use zipf::{expected_edges, tweet_size_pmf, zipf_pmf, PAPER_MMAX, PAPER_SKEW};

@@ -1,0 +1,113 @@
+//! Numeric helpers: log-gamma and log-binomials.
+//!
+//! The communication model of §5.2 evaluates ratios of binomial coefficients
+//! with arguments like `C(600000, 8)`; those overflow `f64` as raw values but
+//! are perfectly tame in log space.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+/// Accurate to ~1e-13 over the positive reals, which is far beyond what the
+/// models need.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` for real-valued sizes; `-inf` when the coefficient is zero
+/// (`k > n` or negative `k`).
+pub fn ln_choose(n: f64, k: f64) -> f64 {
+    if k < 0.0 || k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0.0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
+}
+
+/// `C(n, k)` as `f64` (may be `inf` for huge arguments — callers wanting
+/// ratios should stay in log space via [`ln_choose`]).
+pub fn choose(n: u64, k: u64) -> f64 {
+    ln_choose(n as f64, k as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} != {b}");
+    }
+
+    #[test]
+    fn gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            close(ln_gamma(n as f64 + 1.0), f64::ln(f), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12);
+    }
+
+    #[test]
+    fn small_binomials_are_exact() {
+        assert_eq!(choose(5, 0).round(), 1.0);
+        assert_eq!(choose(5, 5).round(), 1.0);
+        assert_eq!(choose(5, 2).round(), 10.0);
+        assert_eq!(choose(10, 3).round(), 120.0);
+        assert_eq!(choose(52, 5).round(), 2_598_960.0);
+    }
+
+    #[test]
+    fn impossible_binomials_are_zero() {
+        assert_eq!(choose(3, 4), 0.0);
+        assert_eq!(ln_choose(3.0, -1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pascal_identity_holds_in_logspace() {
+        for n in 10..20u64 {
+            for k in 1..n {
+                let lhs = choose(n, k);
+                let rhs = choose(n - 1, k - 1) + choose(n - 1, k);
+                close(lhs, rhs, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_arguments_stay_finite_in_logspace() {
+        let v = ln_choose(600_000.0, 8.0);
+        assert!(v.is_finite() && v > 0.0);
+        // ratio C(v-m, m)/C(v, m) ≈ 1 for v >> m
+        let ratio = (ln_choose(599_992.0, 8.0) - v).exp();
+        assert!(ratio > 0.999 && ratio < 1.0);
+    }
+}

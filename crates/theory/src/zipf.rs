@@ -1,0 +1,97 @@
+//! Zipf model of tags-per-tweet (§5.1).
+//!
+//! The paper measured (15 M tweets, Jan 28 2012) that the number of tags per
+//! tweet follows Zipf's law with skew `s = 0.25`: zero tags is the most
+//! popular case, one tag the second most popular, and so on.
+
+/// The skew parameter the paper measured for tags-per-tweet.
+pub const PAPER_SKEW: f64 = 0.25;
+
+/// The maximum tags-per-tweet values the paper analyses.
+pub const PAPER_MMAX: &[u32] = &[6, 8];
+
+/// Zipf frequency of rank `r` among `n` ranks with skew `s`:
+/// `f = (1/r^s) / Σ_{i=1..n} (1/i^s)`.
+pub fn zipf_pmf(rank: u32, n: u32, s: f64) -> f64 {
+    assert!(rank >= 1 && rank <= n, "rank {rank} out of 1..={n}");
+    let h: f64 = (1..=n).map(|i| (i as f64).powf(-s)).sum();
+    (rank as f64).powf(-s) / h
+}
+
+/// The paper's tweet-size frequency `f(m, mmax, s)` (Eq. in §5.1): the
+/// fraction of tweets annotated with `m` tags, for `m ∈ 1..=mmax`.
+///
+/// Note the paper's formula ranks tag-counts starting at `m = 1`; the
+/// "zero tags" rank is handled separately by the workload generator.
+pub fn tweet_size_pmf(m: u32, mmax: u32, s: f64) -> f64 {
+    zipf_pmf(m, mmax, s)
+}
+
+/// Expected number of distinct tag-pair edges `E[M]` contributed by `t`
+/// distinct tweets (§5.1):
+///
+/// `E[M] = t × Σ_{m=2..mmax} f(m, mmax, s) · C(m, 2)`
+///
+/// (each tweet with `m` tags adds `C(m,2)` edges; duplicates are ignored by
+/// using the *distinct* tweet count).
+pub fn expected_edges(t: f64, mmax: u32, s: f64) -> f64 {
+    let sum: f64 = (2..=mmax)
+        .map(|m| tweet_size_pmf(m, mmax, s) * (m as f64) * (m as f64 - 1.0) / 2.0)
+        .sum();
+    t * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &n in &[1u32, 5, 8, 100] {
+            let total: f64 = (1..=n).map(|r| zipf_pmf(r, n, 0.25)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        for r in 1..8 {
+            assert!(zipf_pmf(r, 8, 0.25) > zipf_pmf(r + 1, 8, 0.25));
+        }
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        for r in 1..=8 {
+            assert!((zipf_pmf(r, 8, 0.0) - 1.0 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rank_zero_panics() {
+        zipf_pmf(0, 8, 0.25);
+    }
+
+    #[test]
+    fn expected_edges_grows_linearly_in_tweets() {
+        let e1 = expected_edges(1_000.0, 8, PAPER_SKEW);
+        let e2 = expected_edges(2_000.0, 8, PAPER_SKEW);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_edges_per_tweet_matches_hand_computation() {
+        // Hand-computed: Σ_{m=2..8} (m^-0.25 / H) · C(m,2) ≈ 9.132
+        let per_tweet = expected_edges(1.0, 8, 0.25);
+        assert!(
+            (per_tweet - 9.132).abs() < 0.01,
+            "per-tweet edges = {per_tweet}"
+        );
+    }
+
+    #[test]
+    fn single_tag_tweets_add_no_edges() {
+        assert_eq!(expected_edges(1_000.0, 1, 0.25), 0.0);
+    }
+}

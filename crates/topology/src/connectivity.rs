@@ -1,0 +1,143 @@
+//! Fig. 7: tagset connectivity statistics over non-overlapping windows.
+//!
+//! "Over them we defined non-overlapping sliding windows of 4 different
+//! sizes (2, 5, 10 and 20 minutes). Every time the window slides we measure
+//! the maximum percentage of tags contained in a single connected component
+//! of tags and the maximum number of documents related with a single
+//! connected component." (§8.2.6)
+
+use setcorr_core::{connected_components, PartitionInput};
+use setcorr_metrics::Running;
+use setcorr_model::{Document, TagSetStat, TimeDelta};
+
+/// Aggregated connectivity statistics for one window size.
+#[derive(Debug, Clone)]
+pub struct ConnectivitySummary {
+    /// The window size analysed.
+    pub window: TimeDelta,
+    /// Number of non-overlapping windows measured.
+    pub rounds: u64,
+    /// Mean over rounds of the largest component's tag share (the figure's
+    /// "Expected" bar).
+    pub expected_tag_share: f64,
+    /// Max over rounds of the largest component's tag share ("Maximum").
+    pub max_tag_share: f64,
+    /// Mean over rounds of the heaviest component's document share.
+    pub expected_doc_share: f64,
+    /// Max over rounds of the heaviest component's document share.
+    pub max_doc_share: f64,
+    /// Mean number of disjoint sets (components) per round.
+    pub expected_components: f64,
+    /// Max number of disjoint sets in any round.
+    pub max_components: u64,
+}
+
+/// Measure connectivity of `docs` under non-overlapping windows of `window`
+/// event time.
+pub fn connectivity(docs: &[Document], window: TimeDelta) -> ConnectivitySummary {
+    assert!(window.millis() > 0);
+    let mut tag_share = Running::new();
+    let mut doc_share = Running::new();
+    let mut components = Running::new();
+    let mut current: Vec<TagSetStat> = Vec::new();
+    let mut boundary = window.millis();
+
+    let mut flush = |stats: &mut Vec<TagSetStat>| {
+        if stats.is_empty() {
+            return;
+        }
+        let input = PartitionInput::from_stats(std::mem::take(stats));
+        if input.is_empty() {
+            return;
+        }
+        let report = connected_components(&input).report();
+        tag_share.push(report.max_tag_share);
+        doc_share.push(report.max_doc_share);
+        components.push(report.n_components as f64);
+    };
+
+    for doc in docs {
+        while doc.timestamp.millis() >= boundary {
+            flush(&mut current);
+            boundary += window.millis();
+        }
+        if !doc.tags.is_empty() {
+            current.push(TagSetStat {
+                tags: doc.tags.clone(),
+                count: 1,
+            });
+        }
+    }
+    flush(&mut current);
+
+    ConnectivitySummary {
+        window,
+        rounds: tag_share.count(),
+        expected_tag_share: tag_share.mean(),
+        max_tag_share: tag_share.max().unwrap_or(0.0),
+        expected_doc_share: doc_share.mean(),
+        max_doc_share: doc_share.max().unwrap_or(0.0),
+        expected_components: components.mean(),
+        max_components: components.max().unwrap_or(0.0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcorr_model::{TagSet, Timestamp};
+
+    fn doc(id: u64, ms: u64, ids: &[u32]) -> Document {
+        Document::new(id, Timestamp(ms), TagSet::from_ids(ids))
+    }
+
+    #[test]
+    fn single_window_statistics() {
+        let docs = vec![
+            doc(0, 0, &[1, 2]),
+            doc(1, 10, &[2, 3]),
+            doc(2, 20, &[9]),
+            doc(3, 30, &[]),
+        ];
+        let s = connectivity(&docs, TimeDelta::from_secs(1));
+        assert_eq!(s.rounds, 1);
+        // components: {1,2,3} (2 docs) and {9} (1 doc)
+        assert_eq!(s.max_components, 2);
+        assert!((s.max_doc_share - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.max_tag_share - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_non_overlapping() {
+        // two windows with different structure
+        let docs = vec![
+            doc(0, 0, &[1, 2]),
+            doc(1, 100, &[2, 3]),
+            doc(2, 1_000, &[5]),
+            doc(3, 1_100, &[6]),
+        ];
+        let s = connectivity(&docs, TimeDelta::from_secs(1));
+        assert_eq!(s.rounds, 2);
+        // window 1: one 3-tag component; window 2: two singletons
+        assert_eq!(s.max_components, 2);
+        assert!((s.max_tag_share - 1.0).abs() < 1e-12);
+        assert!((s.expected_components - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_windows_merge_more() {
+        let docs: Vec<Document> = (0..100)
+            .map(|i| doc(i, i * 100, &[i as u32, i as u32 + 1]))
+            .collect();
+        let small = connectivity(&docs, TimeDelta::from_millis(200));
+        let large = connectivity(&docs, TimeDelta::from_secs(10));
+        assert!(large.max_tag_share >= small.max_tag_share);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = connectivity(&[], TimeDelta::from_secs(1));
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.max_components, 0);
+    }
+}

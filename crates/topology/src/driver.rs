@@ -1,0 +1,249 @@
+//! Experiment driver: builds the Figure 2 topology for a configuration and
+//! runs it over a document stream on either runtime.
+
+use crate::messages::Msg;
+use crate::operators::{
+    BaselineBolt, CalculatorBolt, DisseminatorBolt, MergerBolt, ParserBolt, PartitionerBolt,
+    TrackerBolt,
+};
+use crate::recorder::{RunRecorder, SharedRecorder};
+use crate::report::RunReport;
+use setcorr_core::{AlgorithmKind, DisseminatorConfig};
+use setcorr_engine::{run_sim, run_threaded, Bolt, Grouping, Spout, Topology, TopologyBuilder};
+use setcorr_model::{fx, Document, TimeDelta, WindowKind};
+use std::sync::Arc;
+
+/// One experiment configuration (§8.1 parameter grid).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Partitioning algorithm.
+    pub algorithm: AlgorithmKind,
+    /// Partitions = Calculators (`k`: 5 / 10 / 20).
+    pub k: usize,
+    /// Parallel Partitioners (`P`: 3 / 5 / 10).
+    pub partitioners: usize,
+    /// Repartition threshold (`thr`: 0.2 / 0.5).
+    pub thr: f64,
+    /// Arrival rate label, used for reporting (the stream itself encodes the
+    /// spacing).
+    pub tps: u64,
+    /// Single-Addition sighting threshold (`sn`, paper: 3).
+    pub sn: u32,
+    /// Quality-statistics batch (`z`, paper: 1000 routed tagsets).
+    pub z: u64,
+    /// Report period `y` (paper: 5 minutes).
+    pub report_period: TimeDelta,
+    /// Partitioner window `W` (paper: tweets of the previous 5 minutes).
+    pub window: WindowKind,
+    /// Tagsets observed before the bootstrap repartition request.
+    pub bootstrap_after: u64,
+    /// Routed tagsets per over-time chart sample.
+    pub sample_every: u64,
+    /// Seed for the (SCI) partitioner randomness.
+    pub seed: u64,
+    /// §7.3 elastic scaling: target window documents per active Calculator
+    /// (`None` disables; all `k` Calculators get partitions).
+    pub elastic_docs_per_calc: Option<u64>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            algorithm: AlgorithmKind::Ds,
+            k: 10,
+            partitioners: 10,
+            thr: 0.5,
+            tps: 1300,
+            sn: 3,
+            z: 1000,
+            report_period: TimeDelta::from_minutes(5),
+            window: WindowKind::Time(TimeDelta::from_minutes(5)),
+            bootstrap_after: 1000,
+            sample_every: 1000,
+            seed: 42,
+            elastic_docs_per_calc: None,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Config for one algorithm, other parameters default (§8.2: P=10,
+    /// k=10, thr=0.5, tps=1300).
+    pub fn for_algorithm(algorithm: AlgorithmKind) -> Self {
+        ExperimentConfig {
+            algorithm,
+            ..Default::default()
+        }
+    }
+}
+
+/// Which runtime executes the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Deterministic single-threaded simulation.
+    Sim,
+    /// One thread per task (Storm-like parallel execution).
+    Threaded,
+}
+
+struct DocSpout {
+    docs: Box<dyn Iterator<Item = Document> + Send>,
+    produced: u64,
+}
+
+impl Spout<Msg> for DocSpout {
+    fn next(&mut self) -> Option<Msg> {
+        let doc = Iterator::next(&mut self.docs)?;
+        self.produced += 1;
+        Some(Msg::Doc(doc))
+    }
+}
+
+/// Build the full Figure 2 topology (plus the centralized baseline bolt) for
+/// `config` over `docs`.
+pub fn build_topology(
+    config: &ExperimentConfig,
+    docs: Box<dyn Iterator<Item = Document> + Send>,
+    recorder: SharedRecorder,
+) -> Topology<Msg> {
+    let mut tb: TopologyBuilder<Msg> = TopologyBuilder::new();
+
+    let mut docs_slot = Some(docs);
+    let source = tb.add_spout("source", 1, move |_| {
+        Box::new(DocSpout {
+            docs: docs_slot.take().expect("single source task"),
+            produced: 0,
+        }) as Box<dyn Spout<Msg>>
+    });
+
+    // The paper's experiments use one Parser and one Disseminator (§8.2);
+    // the tick protocol (round boundaries) relies on it.
+    let report_period = config.report_period;
+    let parser = tb.add_bolt("parser", 1, move |_| {
+        Box::new(ParserBolt::new(report_period)) as Box<dyn Bolt<Msg>>
+    });
+
+    let algo = config.algorithm;
+    let (k, window, seed) = (config.k, config.window, config.seed);
+    let partitioner = tb.add_bolt("partitioner", config.partitioners, move |task| {
+        Box::new(PartitionerBolt::new(task, algo, k, window, seed)) as Box<dyn Bolt<Msg>>
+    });
+
+    let merger = {
+        let recorder = recorder.clone();
+        let (p, sn) = (config.partitioners, config.sn as u64);
+        let elastic = config.elastic_docs_per_calc;
+        tb.add_bolt("merger", 1, move |_| {
+            Box::new(MergerBolt::new(algo, k, p, sn, recorder.clone()).with_elastic(elastic))
+                as Box<dyn Bolt<Msg>>
+        })
+    };
+
+    // Calculators are declared after the Disseminator in Figure 2, but the
+    // Disseminator needs their component id for direct grouping — ids are
+    // deterministic (declaration order), so precompute it.
+    let disseminator_id = merger + 1;
+    let calculator_id = disseminator_id + 1;
+
+    let disseminator = {
+        let recorder = recorder.clone();
+        let dconf = DisseminatorConfig {
+            sn: config.sn,
+            z: config.z,
+            thr: config.thr,
+        };
+        let (bootstrap, sample) = (config.bootstrap_after, config.sample_every);
+        tb.add_bolt("disseminator", 1, move |_| {
+            Box::new(DisseminatorBolt::new(
+                k,
+                dconf,
+                calculator_id,
+                bootstrap,
+                sample,
+                recorder.clone(),
+            )) as Box<dyn Bolt<Msg>>
+        })
+    };
+    assert_eq!(disseminator, disseminator_id);
+
+    let calculator = tb.add_bolt("calculator", config.k, move |task| {
+        Box::new(CalculatorBolt::new(task)) as Box<dyn Bolt<Msg>>
+    });
+    assert_eq!(calculator, calculator_id);
+
+    let tracker = {
+        let recorder = recorder.clone();
+        tb.add_bolt("tracker", 1, move |_| {
+            Box::new(TrackerBolt::new(k, recorder.clone())) as Box<dyn Bolt<Msg>>
+        })
+    };
+
+    let baseline = {
+        let recorder = recorder.clone();
+        tb.add_bolt("baseline", 1, move |_| {
+            Box::new(BaselineBolt::new(recorder.clone())) as Box<dyn Bolt<Msg>>
+        })
+    };
+
+    // Wiring (see module docs of `operators` for the full map).
+    tb.connect(source, "docs", parser, Grouping::Shuffle);
+    tb.connect(parser, "tagsets", disseminator, Grouping::Shuffle);
+    tb.connect(
+        parser,
+        "tagsets",
+        partitioner,
+        // fields grouping on the whole tagset s_i (§6.2)
+        Grouping::Fields(Arc::new(|m: &Msg| match m {
+            Msg::TagSet { tags, .. } => fx::hash_one(tags),
+            _ => 0,
+        })),
+    );
+    tb.connect(parser, "tagsets", baseline, Grouping::Global);
+    tb.connect(parser, "ticks", disseminator, Grouping::All);
+    tb.connect(parser, "ticks", baseline, Grouping::Global);
+    tb.connect(partitioner, "parts", merger, Grouping::Global);
+    tb.connect(merger, "partitions", disseminator, Grouping::All);
+    tb.connect(merger, "additions", disseminator, Grouping::All);
+    tb.connect(disseminator, "notifs", calculator, Grouping::Direct);
+    tb.connect(disseminator, "calcticks", calculator, Grouping::All);
+    tb.connect_feedback(disseminator, "repart", partitioner, Grouping::All);
+    tb.connect_feedback(disseminator, "addreq", merger, Grouping::Global);
+    tb.connect(calculator, "coeffs", tracker, Grouping::Global);
+
+    tb.build()
+}
+
+/// Run one experiment over a boxed document stream.
+pub fn run(
+    config: &ExperimentConfig,
+    docs: Box<dyn Iterator<Item = Document> + Send>,
+    mode: RunMode,
+) -> RunReport {
+    let recorder = RunRecorder::shared(config.k);
+    let topology = build_topology(config, docs, recorder.clone());
+    let documents = match mode {
+        RunMode::Sim => {
+            let stats = run_sim(topology);
+            stats.processed[1] // parser input = documents
+        }
+        RunMode::Threaded => {
+            let stats = run_threaded(topology);
+            stats.processed[1]
+        }
+    };
+    let rec = recorder.lock();
+    RunReport::from_recorder(
+        config.algorithm.name(),
+        config.k,
+        config.partitioners,
+        config.thr,
+        config.tps,
+        documents,
+        &rec,
+    )
+}
+
+/// Convenience: run over a vector of documents.
+pub fn run_docs(config: &ExperimentConfig, docs: Vec<Document>, mode: RunMode) -> RunReport {
+    run(config, Box::new(docs.into_iter()), mode)
+}

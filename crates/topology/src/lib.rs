@@ -1,0 +1,30 @@
+//! # setcorr-topology
+//!
+//! The complete distributed application of the paper (Figure 2), wiring the
+//! `setcorr-core` operator state machines onto the Storm-like
+//! `setcorr-engine`:
+//!
+//! ```text
+//! source → parser → { disseminator, partitioner×P, baseline }
+//! partitioner → merger → disseminator → calculator×k → tracker
+//! ```
+//!
+//! with feedback control edges for repartition requests (§7.2) and Single
+//! Additions (§7.1), a centralized exact baseline for the accuracy
+//! comparison (§8.2.3), and an experiment [`driver`] producing one
+//! [`RunReport`] per configuration of the §8.1 parameter grid.
+
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod driver;
+pub mod messages;
+pub mod operators;
+pub mod recorder;
+pub mod report;
+
+pub use connectivity::{connectivity, ConnectivitySummary};
+pub use driver::{build_topology, run, run_docs, ExperimentConfig, RunMode};
+pub use messages::Msg;
+pub use recorder::{RunRecorder, SharedRecorder};
+pub use report::{RunReport, BASELINE_MIN_SIGHTINGS, WARMUP_ROUNDS};

@@ -1,0 +1,112 @@
+//! The tuple vocabulary flowing through the topology.
+//!
+//! Storm tuples are named value lists; here they are one enum, with large
+//! payloads behind `Arc` so that `All`-grouping broadcasts stay cheap.
+
+use setcorr_core::{CalcId, CoefficientReport, PartitionSet, PartitionerOutput, QualityReference, RepartitionCause};
+use setcorr_model::{Document, TagSet, TagSetStat, Timestamp};
+use std::sync::Arc;
+
+/// Every message that can traverse the topology.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A raw document from the source.
+    Doc(Document),
+    /// Parser output: `(timestamp_i, s_i)` (§6.2). Only tagged documents.
+    TagSet {
+        /// Event-time arrival.
+        time: Timestamp,
+        /// The (non-empty) tagset.
+        tags: TagSet,
+    },
+    /// Report-period boundary: everything before this belongs to `round`.
+    Tick {
+        /// The round being closed.
+        round: u64,
+        /// Event time of the boundary.
+        time: Timestamp,
+    },
+    /// Disseminator → Partitioners: produce new partitions (§7.2).
+    RepartitionRequest {
+        /// Monotone epoch stamped by the Disseminator.
+        epoch: u64,
+        /// Why (None for the bootstrap request).
+        cause: Option<RepartitionCause>,
+    },
+    /// Partitioner → Merger: one Partitioner's contribution to `epoch`.
+    PartitionerParts {
+        /// Epoch this answers.
+        epoch: u64,
+        /// Which Partitioner task produced it.
+        partitioner: usize,
+        /// Disjoint sets (DS) or partitions (SC*).
+        output: Arc<PartitionerOutput>,
+        /// That Partitioner's window snapshot, for reference-quality
+        /// evaluation at the Merger.
+        snapshot: Arc<Vec<TagSetStat>>,
+    },
+    /// Merger → Disseminators: install these partitions (§7.2).
+    NewPartitions {
+        /// Epoch the partitions answer.
+        epoch: u64,
+        /// The final `k` partitions.
+        partitions: Arc<PartitionSet>,
+        /// Creation-time quality reference.
+        reference: QualityReference,
+    },
+    /// Disseminator → Merger: place this unassigned tagset (§7.1).
+    AdditionRequest {
+        /// The tagset seen `sn` times without a covering Calculator.
+        tags: TagSet,
+    },
+    /// Merger → Disseminators: the Single Addition verdict (§7.1).
+    AdditionResponse {
+        /// The tagset.
+        tags: TagSet,
+        /// The Calculator that now owns it.
+        calc: CalcId,
+    },
+    /// Disseminator → one Calculator (direct grouping): the subset of a
+    /// document's tags this Calculator owns (§6.2).
+    Notification {
+        /// The owned subset.
+        tags: TagSet,
+    },
+    /// Calculator → Tracker: everything one Calculator computed in a round.
+    CalcReport {
+        /// The closed round.
+        round: u64,
+        /// Reporting Calculator.
+        calc: CalcId,
+        /// Its coefficients (may be empty).
+        reports: Arc<Vec<CoefficientReport>>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cheap_to_clone() {
+        // Arc payloads: cloning a CalcReport must not deep-copy reports.
+        let reports = Arc::new(vec![CoefficientReport {
+            tags: TagSet::from_ids(&[1, 2]),
+            jaccard: 0.5,
+            counter: 2,
+        }]);
+        let m = Msg::CalcReport {
+            round: 0,
+            calc: 1,
+            reports: reports.clone(),
+        };
+        let m2 = m.clone();
+        match (&m, &m2) {
+            (Msg::CalcReport { reports: a, .. }, Msg::CalcReport { reports: b, .. }) => {
+                assert!(Arc::ptr_eq(a, b));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(Arc::strong_count(&reports), 3);
+    }
+}

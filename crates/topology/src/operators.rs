@@ -1,0 +1,911 @@
+//! The bolts of Figure 2's topology, wiring the `setcorr-core` state
+//! machines onto the `setcorr-engine` runtime.
+//!
+//! Stream map (producer → `stream` → consumer, grouping):
+//!
+//! ```text
+//! source      → "docs"       → parser        (shuffle)
+//! parser      → "tagsets"    → disseminator  (shuffle)
+//!                            → partitioner   (fields: whole tagset)
+//!                            → baseline      (global)
+//! parser      → "ticks"      → disseminator  (all)
+//!                            → baseline      (global)
+//! partitioner → "parts"      → merger        (global)
+//! merger      → "partitions" → disseminator  (all)
+//! merger      → "additions"  → disseminator  (all)
+//! disseminator→ "notifs"     → calculator    (direct)
+//!             → "calcticks"  → calculator    (all)
+//!             → "repart"     → partitioner   (all, feedback)
+//!             → "addreq"     → merger        (global, feedback)
+//! calculator  → "coeffs"     → tracker       (global)
+//! ```
+//!
+//! Ticks reach Calculators *through* the Disseminator so that, on both
+//! runtimes, every notification of a round is delivered before the tick that
+//! closes it (single FIFO channel per Disseminator → Calculator pair).
+
+use crate::messages::Msg;
+use crate::recorder::SharedRecorder;
+use setcorr_core::{
+    disjoint_sets, partition_setcover, AlgorithmKind, Calculator, Disseminator,
+    DisseminatorAction, DisseminatorConfig, Merger, PartitionInput, PartitionerOutput,
+    SetCoverVariant, Tracker,
+};
+use setcorr_engine::{Bolt, ComponentId, Emitter};
+use setcorr_model::{FxHashMap, TagSet, TagSetStat, TagSetWindow, TimeDelta, Timestamp, WindowKind};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Extracts tagsets from documents and cuts report-period boundaries
+/// ("ticks") from event time (§6.2: the Parser stamps `(timestamp_i, s_i)`).
+pub struct ParserBolt {
+    report_period: TimeDelta,
+    round: u64,
+}
+
+impl ParserBolt {
+    /// Parser with report period `y`.
+    pub fn new(report_period: TimeDelta) -> Self {
+        ParserBolt {
+            report_period,
+            round: 0,
+        }
+    }
+}
+
+impl Bolt<Msg> for ParserBolt {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        let Msg::Doc(doc) = msg else { return };
+        // Close any rounds the document's timestamp has passed.
+        while doc.timestamp.millis() >= (self.round + 1) * self.report_period.millis() {
+            out.emit(
+                "ticks",
+                Msg::Tick {
+                    round: self.round,
+                    time: Timestamp((self.round + 1) * self.report_period.millis()),
+                },
+            );
+            self.round += 1;
+        }
+        if !doc.tags.is_empty() {
+            out.emit(
+                "tagsets",
+                Msg::TagSet {
+                    time: doc.timestamp,
+                    tags: doc.tags,
+                },
+            );
+        }
+    }
+
+    fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
+        // Close the final partial round.
+        out.emit(
+            "ticks",
+            Msg::Tick {
+                round: self.round,
+                time: Timestamp((self.round + 1) * self.report_period.millis()),
+            },
+        );
+        self.round += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+/// Maintains the sliding window and produces partitions on request (§3.2,
+/// §6.2). DS Partitioners emit raw disjoint sets; SC* Partitioners run the
+/// full algorithm.
+pub struct PartitionerBolt {
+    task: usize,
+    algorithm: AlgorithmKind,
+    k: usize,
+    seed: u64,
+    window: TagSetWindow,
+}
+
+impl PartitionerBolt {
+    /// Partitioner task `task` with the given algorithm, target partition
+    /// count, window extent and SCI seed.
+    pub fn new(task: usize, algorithm: AlgorithmKind, k: usize, window: WindowKind, seed: u64) -> Self {
+        PartitionerBolt {
+            task,
+            algorithm,
+            k,
+            seed,
+            window: TagSetWindow::new(window),
+        }
+    }
+}
+
+impl Bolt<Msg> for PartitionerBolt {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::TagSet { time, tags } => {
+                self.window.insert(tags, time);
+            }
+            Msg::RepartitionRequest { epoch, .. } => {
+                let snapshot = self.window.snapshot();
+                let input = PartitionInput::from_stats(snapshot.clone());
+                let output = match self.algorithm {
+                    AlgorithmKind::Ds => PartitionerOutput::DisjointSets(disjoint_sets(&input)),
+                    AlgorithmKind::Scc => PartitionerOutput::Partitions(partition_setcover(
+                        &input,
+                        self.k,
+                        SetCoverVariant::Communication,
+                        self.seed ^ epoch,
+                    )),
+                    AlgorithmKind::Scl => PartitionerOutput::Partitions(partition_setcover(
+                        &input,
+                        self.k,
+                        SetCoverVariant::Load,
+                        self.seed ^ epoch,
+                    )),
+                    AlgorithmKind::Sci => PartitionerOutput::Partitions(partition_setcover(
+                        &input,
+                        self.k,
+                        SetCoverVariant::Independent,
+                        self.seed ^ epoch,
+                    )),
+                };
+                out.emit(
+                    "parts",
+                    Msg::PartitionerParts {
+                        epoch,
+                        partitioner: self.task,
+                        output: Arc::new(output),
+                        snapshot: Arc::new(snapshot),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merger
+// ---------------------------------------------------------------------------
+
+/// Combines `P` Partitioner outputs per epoch and answers Single Additions
+/// (§6.2, §7.1).
+pub struct MergerBolt {
+    merger: Merger,
+    expected: usize,
+    sn_load_hint: u64,
+    /// §7.3 elastic scaling: target window documents per active Calculator
+    /// (`None` = always use all `k`).
+    elastic_docs_per_calc: Option<u64>,
+    pending: FxHashMap<u64, Vec<(Arc<PartitionerOutput>, Arc<Vec<TagSetStat>>)>>,
+    merged_epochs: u64,
+    recorder: SharedRecorder,
+}
+
+impl MergerBolt {
+    /// Merger expecting `expected` Partitioner contributions per epoch.
+    pub fn new(
+        algorithm: AlgorithmKind,
+        k: usize,
+        expected: usize,
+        sn_load_hint: u64,
+        recorder: SharedRecorder,
+    ) -> Self {
+        MergerBolt {
+            merger: Merger::new(algorithm, k),
+            expected,
+            sn_load_hint,
+            elastic_docs_per_calc: None,
+            pending: FxHashMap::default(),
+            merged_epochs: 0,
+            recorder,
+        }
+    }
+
+    /// Enable §7.3 elastic scaling: size the active partition count to
+    /// roughly `docs` window documents per Calculator.
+    pub fn with_elastic(mut self, docs: Option<u64>) -> Self {
+        self.elastic_docs_per_calc = docs;
+        self
+    }
+}
+
+impl Bolt<Msg> for MergerBolt {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::PartitionerParts {
+                epoch,
+                output,
+                snapshot,
+                ..
+            } => {
+                let batch = self.pending.entry(epoch).or_default();
+                batch.push((output, snapshot));
+                if batch.len() < self.expected {
+                    return;
+                }
+                let batch = self.pending.remove(&epoch).expect("just inserted");
+                let mut stats: Vec<TagSetStat> = Vec::new();
+                let mut outputs: Vec<PartitionerOutput> = Vec::with_capacity(batch.len());
+                for (output, snapshot) in batch {
+                    stats.extend(snapshot.iter().cloned());
+                    outputs.push((*output).clone());
+                }
+                let window = PartitionInput::from_stats(stats);
+                let outcome = match self.elastic_docs_per_calc {
+                    Some(target) if target > 0 => {
+                        let k_active = window.total_docs.div_ceil(target).max(1) as usize;
+                        self.merger.merge_with_k(outputs, &window, k_active)
+                    }
+                    _ => self.merger.merge(outputs, &window),
+                };
+                self.merged_epochs += 1;
+                self.recorder.lock().merges += 1;
+                out.emit(
+                    "partitions",
+                    Msg::NewPartitions {
+                        epoch,
+                        partitions: Arc::new(outcome.partitions),
+                        reference: outcome.reference,
+                    },
+                );
+            }
+            Msg::AdditionRequest { tags } => {
+                if let Some(calc) = self.merger.single_addition(&tags, self.sn_load_hint) {
+                    self.recorder.lock().single_additions += 1;
+                    out.emit("additions", Msg::AdditionResponse { tags, calc });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disseminator
+// ---------------------------------------------------------------------------
+
+/// Local (unlocked) measurement accumulation; flushed at sample boundaries.
+#[derive(Default)]
+struct Sample {
+    notifications: u64,
+    routed: u64,
+    per_calc: Vec<u64>,
+}
+
+/// Routes tagsets to Calculators, monitors quality, drives repartitions and
+/// Single Additions (§3.3, §7).
+pub struct DisseminatorBolt {
+    dissem: Disseminator,
+    calc_component: ComponentId,
+    /// Next repartition epoch to stamp.
+    epoch: u64,
+    installed_epoch: Option<u64>,
+    bootstrap_after: u64,
+    bootstrap_requested: bool,
+    seen_tagsets: u64,
+    lifetime_routed: u64,
+    sample_every: u64,
+    sample: Sample,
+    unrouted: u64,
+    recorder: SharedRecorder,
+}
+
+impl DisseminatorBolt {
+    /// Disseminator for `k` Calculators living at component `calc_component`.
+    ///
+    /// `bootstrap_after`: tagsets to observe before requesting the initial
+    /// partitions; `sample_every`: routed tagsets per chart sample.
+    pub fn new(
+        k: usize,
+        config: DisseminatorConfig,
+        calc_component: ComponentId,
+        bootstrap_after: u64,
+        sample_every: u64,
+        recorder: SharedRecorder,
+    ) -> Self {
+        DisseminatorBolt {
+            dissem: Disseminator::new(k, config),
+            calc_component,
+            epoch: 1,
+            installed_epoch: None,
+            bootstrap_after,
+            bootstrap_requested: false,
+            seen_tagsets: 0,
+            lifetime_routed: 0,
+            sample_every: sample_every.max(1),
+            sample: Sample {
+                per_calc: vec![0; k],
+                ..Default::default()
+            },
+            unrouted: 0,
+            recorder,
+        }
+    }
+
+    fn flush_sample(&mut self) {
+        if self.sample.routed == 0 && self.unrouted == 0 {
+            return;
+        }
+        let mut rec = self.recorder.lock();
+        rec.total_notifications += self.sample.notifications;
+        rec.routed_tagsets += self.sample.routed;
+        rec.unrouted_tagsets += self.unrouted;
+        for (i, &c) in self.sample.per_calc.iter().enumerate() {
+            rec.per_calc_notifications[i] += c;
+        }
+        if self.sample.routed > 0 {
+            let avg = self.sample.notifications as f64 / self.sample.routed as f64;
+            rec.comm_series.record(self.lifetime_routed, avg);
+            for (i, &c) in self.sample.per_calc.iter().enumerate() {
+                let share = c as f64 / self.sample.notifications as f64;
+                rec.load_chart
+                    .record(&format!("calc-{i}"), self.lifetime_routed, share);
+            }
+        }
+        drop(rec);
+        self.sample.notifications = 0;
+        self.sample.routed = 0;
+        self.sample.per_calc.iter_mut().for_each(|c| *c = 0);
+        self.unrouted = 0;
+    }
+}
+
+impl Bolt<Msg> for DisseminatorBolt {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::TagSet { tags, .. } => {
+                self.seen_tagsets += 1;
+                if !self.dissem.has_partitions() {
+                    self.unrouted += 1;
+                    if !self.bootstrap_requested && self.seen_tagsets >= self.bootstrap_after {
+                        self.bootstrap_requested = true;
+                        out.emit(
+                            "repart",
+                            Msg::RepartitionRequest {
+                                epoch: 0,
+                                cause: None,
+                            },
+                        );
+                    }
+                    return;
+                }
+                let result = self.dissem.route(&tags);
+                if result.notifications.is_empty() {
+                    self.unrouted += 1;
+                } else {
+                    self.lifetime_routed += 1;
+                    self.sample.routed += 1;
+                    self.sample.notifications += result.notifications.len() as u64;
+                    for (calc, subset) in result.notifications {
+                        self.sample.per_calc[calc] += 1;
+                        out.emit_direct(
+                            "notifs",
+                            self.calc_component,
+                            calc,
+                            Msg::Notification { tags: subset },
+                        );
+                    }
+                    if self.sample.routed >= self.sample_every {
+                        self.flush_sample();
+                    }
+                }
+                for action in result.actions {
+                    match action {
+                        DisseminatorAction::RequestSingleAddition(ts) => {
+                            out.emit("addreq", Msg::AdditionRequest { tags: ts });
+                        }
+                        DisseminatorAction::RequestRepartition(cause) => {
+                            self.recorder
+                                .lock()
+                                .repartitions
+                                .push((self.lifetime_routed, cause));
+                            let epoch = self.epoch;
+                            self.epoch += 1;
+                            out.emit(
+                                "repart",
+                                Msg::RepartitionRequest {
+                                    epoch,
+                                    cause: Some(cause),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Msg::Tick { round, time } => {
+                self.flush_sample();
+                // Relay through our Calculator channels so every notification
+                // of the round is delivered first.
+                out.emit("calcticks", Msg::Tick { round, time });
+            }
+            Msg::NewPartitions {
+                epoch,
+                partitions,
+                reference,
+            } => {
+                if self.installed_epoch.map_or(false, |cur| epoch < cur) {
+                    return; // stale
+                }
+                self.installed_epoch = Some(epoch);
+                self.dissem.install_partitions(&partitions, reference);
+            }
+            Msg::AdditionResponse { tags, calc } => {
+                self.dissem.apply_single_addition(&tags, calc);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_flush(&mut self, _out: &mut dyn Emitter<Msg>) {
+        self.flush_sample();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calculator
+// ---------------------------------------------------------------------------
+
+/// Counts subsets of received notifications and reports Jaccard coefficients
+/// every round (§3.1, §6.2).
+pub struct CalculatorBolt {
+    id: usize,
+    calc: Calculator,
+    round: u64,
+}
+
+impl CalculatorBolt {
+    /// Calculator task `id`.
+    pub fn new(id: usize) -> Self {
+        CalculatorBolt {
+            id,
+            calc: Calculator::new(),
+            round: 0,
+        }
+    }
+}
+
+impl Bolt<Msg> for CalculatorBolt {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::Notification { tags } => self.calc.observe(&tags),
+            Msg::Tick { round, .. } => {
+                let reports = self.calc.report_and_reset();
+                out.emit(
+                    "coeffs",
+                    Msg::CalcReport {
+                        round,
+                        calc: self.id,
+                        reports: Arc::new(reports),
+                    },
+                );
+                self.round = round + 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
+        // Safety net: anything the final tick did not flush.
+        if self.calc.tracked() > 0 {
+            let reports = self.calc.report_and_reset();
+            out.emit(
+                "coeffs",
+                Msg::CalcReport {
+                    round: self.round,
+                    calc: self.id,
+                    reports: Arc::new(reports),
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracker
+// ---------------------------------------------------------------------------
+
+/// Deduplicates replicated coefficients per round (§6.2) and writes closed
+/// rounds into the recorder.
+pub struct TrackerBolt {
+    tracker: Tracker,
+    k: usize,
+    received: FxHashMap<u64, usize>,
+    recorder: SharedRecorder,
+}
+
+impl TrackerBolt {
+    /// Tracker expecting reports from `k` Calculators per round.
+    pub fn new(k: usize, recorder: SharedRecorder) -> Self {
+        TrackerBolt {
+            tracker: Tracker::new(),
+            k,
+            received: FxHashMap::default(),
+            recorder,
+        }
+    }
+
+    fn finalize(&mut self, round: u64) {
+        let coeffs = self.tracker.finish_round(round);
+        self.recorder.lock().tracked_rounds.insert(round, coeffs);
+    }
+}
+
+impl Bolt<Msg> for TrackerBolt {
+    fn on_message(&mut self, msg: Msg, _out: &mut dyn Emitter<Msg>) {
+        let Msg::CalcReport { round, reports, .. } = msg else {
+            return;
+        };
+        for report in reports.iter() {
+            self.tracker.observe(round, report.clone());
+        }
+        let seen = self.received.entry(round).or_insert(0);
+        *seen += 1;
+        if *seen == self.k {
+            self.received.remove(&round);
+            self.finalize(round);
+        }
+    }
+
+    fn on_flush(&mut self, _out: &mut dyn Emitter<Msg>) {
+        for round in self.tracker.open_round_keys() {
+            self.finalize(round);
+        }
+        self.received.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Centralized baseline
+// ---------------------------------------------------------------------------
+
+/// The centralized exact computation the paper compares against (§8.2.3):
+/// one Calculator seeing every tagset.
+///
+/// Per round it reports the exact Jaccard coefficient of every *input
+/// tagset* (full document annotation set) of ≥ 2 tags observed in the round,
+/// and accumulates whole-run occurrence counts — §8.2.3 evaluates coverage
+/// and error over the tagsets "seen more than 3 times in the input" (these
+/// are the tagsets the Single-Addition mechanism is responsible for).
+pub struct BaselineBolt {
+    calc: Calculator,
+    /// Occurrences of each *full* input tagset this round.
+    round_occurrences: FxHashMap<TagSet, u64>,
+    /// Occurrences across the whole run (≥ 2 tags only).
+    run_occurrences: FxHashMap<TagSet, u64>,
+    recorder: SharedRecorder,
+}
+
+impl BaselineBolt {
+    /// Baseline writing exact rounds into `recorder`.
+    pub fn new(recorder: SharedRecorder) -> Self {
+        BaselineBolt {
+            calc: Calculator::new(),
+            round_occurrences: FxHashMap::default(),
+            run_occurrences: FxHashMap::default(),
+            recorder,
+        }
+    }
+}
+
+impl Bolt<Msg> for BaselineBolt {
+    fn on_message(&mut self, msg: Msg, _out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::TagSet { tags, .. } => {
+                if tags.len() >= 2 {
+                    *self.round_occurrences.entry(tags.clone()).or_insert(0) += 1;
+                    *self.run_occurrences.entry(tags.clone()).or_insert(0) += 1;
+                }
+                self.calc.observe(&tags);
+            }
+            Msg::Tick { round, .. } => {
+                let mut reports: Vec<setcorr_core::CoefficientReport> = Vec::new();
+                for (tags, &n) in &self.round_occurrences {
+                    let jaccard = self
+                        .calc
+                        .jaccard(tags)
+                        .expect("observed tagsets have coefficients");
+                    reports.push(setcorr_core::CoefficientReport {
+                        tags: tags.clone(),
+                        jaccard,
+                        counter: n,
+                    });
+                }
+                reports.sort_unstable_by(|a, b| a.tags.cmp(&b.tags));
+                self.recorder.lock().baseline_rounds.insert(round, reports);
+                self.calc.report_and_reset();
+                self.round_occurrences.clear();
+            }
+            _ => {}
+        }
+    }
+
+    fn on_flush(&mut self, _out: &mut dyn Emitter<Msg>) {
+        let mut rec = self.recorder.lock();
+        for (tags, n) in self.run_occurrences.drain() {
+            *rec.baseline_occurrences.entry(tags).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RunRecorder;
+    use setcorr_model::TagSet;
+
+    /// Minimal emitter capturing emissions for bolt unit tests.
+    #[derive(Default)]
+    struct Capture {
+        emitted: Vec<(&'static str, Msg)>,
+        direct: Vec<(&'static str, ComponentId, usize, Msg)>,
+    }
+
+    impl Emitter<Msg> for Capture {
+        fn emit(&mut self, stream: &'static str, msg: Msg) {
+            self.emitted.push((stream, msg));
+        }
+        fn emit_direct(&mut self, stream: &'static str, to: ComponentId, task: usize, msg: Msg) {
+            self.direct.push((stream, to, task, msg));
+        }
+    }
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn parser_cuts_rounds_and_extracts_tagsets() {
+        let mut parser = ParserBolt::new(TimeDelta::from_secs(10));
+        let mut cap = Capture::default();
+        parser.on_message(
+            Msg::Doc(setcorr_model::Document::new(0, Timestamp(0), ts(&[1]))),
+            &mut cap,
+        );
+        parser.on_message(
+            Msg::Doc(setcorr_model::Document::new(
+                1,
+                Timestamp(25_000),
+                TagSet::empty(),
+            )),
+            &mut cap,
+        );
+        // two rounds closed by the jump to 25 s, tagset emitted only for doc 0
+        let ticks: Vec<u64> = cap
+            .emitted
+            .iter()
+            .filter_map(|(s, m)| match m {
+                Msg::Tick { round, .. } if *s == "ticks" => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ticks, vec![0, 1]);
+        let tagsets = cap
+            .emitted
+            .iter()
+            .filter(|(s, _)| *s == "tagsets")
+            .count();
+        assert_eq!(tagsets, 1);
+        parser.on_flush(&mut cap);
+        let ticks = cap
+            .emitted
+            .iter()
+            .filter(|(s, m)| *s == "ticks" && matches!(m, Msg::Tick { round: 2, .. }))
+            .count();
+        assert_eq!(ticks, 1, "flush closes the partial round");
+    }
+
+    #[test]
+    fn partitioner_answers_repartition_requests() {
+        let mut p = PartitionerBolt::new(
+            0,
+            AlgorithmKind::Ds,
+            2,
+            WindowKind::Count(100),
+            7,
+        );
+        let mut cap = Capture::default();
+        p.on_message(
+            Msg::TagSet {
+                time: Timestamp(0),
+                tags: ts(&[1, 2]),
+            },
+            &mut cap,
+        );
+        p.on_message(
+            Msg::RepartitionRequest {
+                epoch: 3,
+                cause: None,
+            },
+            &mut cap,
+        );
+        assert_eq!(cap.emitted.len(), 1);
+        match &cap.emitted[0] {
+            ("parts", Msg::PartitionerParts { epoch, output, snapshot, .. }) => {
+                assert_eq!(*epoch, 3);
+                assert_eq!(snapshot.len(), 1);
+                match &**output {
+                    PartitionerOutput::DisjointSets(sets) => assert_eq!(sets.len(), 1),
+                    _ => panic!("DS must emit disjoint sets"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merger_waits_for_all_partitioners() {
+        let recorder = RunRecorder::shared(2);
+        let mut m = MergerBolt::new(AlgorithmKind::Ds, 2, 2, 3, recorder.clone());
+        let mut cap = Capture::default();
+        let part = |task: usize, ids: &[u32]| Msg::PartitionerParts {
+            epoch: 0,
+            partitioner: task,
+            output: Arc::new(PartitionerOutput::DisjointSets(vec![
+                setcorr_core::WeightedTagList {
+                    tags: ids.iter().map(|&i| setcorr_model::Tag(i)).collect(),
+                    load: 1,
+                },
+            ])),
+            snapshot: Arc::new(vec![TagSetStat {
+                tags: ts(ids),
+                count: 1,
+            }]),
+        };
+        m.on_message(part(0, &[1, 2]), &mut cap);
+        assert!(cap.emitted.is_empty(), "must wait for P outputs");
+        m.on_message(part(1, &[3]), &mut cap);
+        assert_eq!(cap.emitted.len(), 1);
+        assert!(matches!(
+            cap.emitted[0].1,
+            Msg::NewPartitions { epoch: 0, .. }
+        ));
+        assert_eq!(recorder.lock().merges, 1);
+    }
+
+    #[test]
+    fn disseminator_bootstraps_and_routes() {
+        let recorder = RunRecorder::shared(2);
+        let mut d = DisseminatorBolt::new(
+            2,
+            DisseminatorConfig::default(),
+            9, // calc component id
+            2, // bootstrap after 2 tagsets
+            1_000,
+            recorder.clone(),
+        );
+        let mut cap = Capture::default();
+        let send = |d: &mut DisseminatorBolt, cap: &mut Capture, ids: &[u32]| {
+            d.on_message(
+                Msg::TagSet {
+                    time: Timestamp(0),
+                    tags: ts(ids),
+                },
+                cap,
+            );
+        };
+        send(&mut d, &mut cap, &[1, 2]);
+        assert!(cap.emitted.is_empty(), "below bootstrap threshold");
+        send(&mut d, &mut cap, &[1, 2]);
+        assert!(
+            matches!(cap.emitted[0].1, Msg::RepartitionRequest { epoch: 0, .. }),
+            "bootstrap request"
+        );
+        // install partitions: calc0 ← {1,2}, calc1 ← {3}
+        let mut ps = setcorr_core::PartitionSet::empty(2);
+        ps.parts[0].absorb(&ts(&[1, 2]), 1);
+        ps.parts[1].absorb(&ts(&[3]), 1);
+        d.on_message(
+            Msg::NewPartitions {
+                epoch: 0,
+                partitions: Arc::new(ps),
+                reference: setcorr_core::QualityReference {
+                    avg_com: 1.0,
+                    max_load: 1.0,
+                },
+            },
+            &mut cap,
+        );
+        send(&mut d, &mut cap, &[1, 2]);
+        assert_eq!(cap.direct.len(), 1);
+        let (stream, to, task, ref msg) = cap.direct[0];
+        assert_eq!((stream, to, task), ("notifs", 9, 0));
+        assert!(matches!(msg, Msg::Notification { .. }));
+        d.on_flush(&mut cap);
+        assert_eq!(recorder.lock().routed_tagsets, 1);
+        assert_eq!(recorder.lock().unrouted_tagsets, 2);
+    }
+
+    #[test]
+    fn calculator_reports_on_tick() {
+        let mut c = CalculatorBolt::new(1);
+        let mut cap = Capture::default();
+        c.on_message(Msg::Notification { tags: ts(&[1, 2]) }, &mut cap);
+        c.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1000),
+            },
+            &mut cap,
+        );
+        assert_eq!(cap.emitted.len(), 1);
+        match &cap.emitted[0].1 {
+            Msg::CalcReport {
+                round,
+                calc,
+                reports,
+            } => {
+                assert_eq!((*round, *calc), (0, 1));
+                assert_eq!(reports.len(), 1);
+                assert_eq!(reports[0].jaccard, 1.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // counters cleared: flush emits nothing
+        c.on_flush(&mut cap);
+        assert_eq!(cap.emitted.len(), 1);
+    }
+
+    #[test]
+    fn tracker_finalizes_when_all_calcs_reported() {
+        let recorder = RunRecorder::shared(2);
+        let mut t = TrackerBolt::new(2, recorder.clone());
+        let mut cap = Capture::default();
+        let report = |calc: usize, j: f64, cn: u64| Msg::CalcReport {
+            round: 0,
+            calc,
+            reports: Arc::new(vec![setcorr_core::CoefficientReport {
+                tags: ts(&[1, 2]),
+                jaccard: j,
+                counter: cn,
+            }]),
+        };
+        t.on_message(report(0, 0.5, 10), &mut cap);
+        assert!(recorder.lock().tracked_rounds.is_empty());
+        t.on_message(report(1, 0.7, 3), &mut cap);
+        let rec = recorder.lock();
+        let round = rec.tracked_rounds.get(&0).unwrap();
+        assert_eq!(round.len(), 1);
+        assert_eq!(round[0].jaccard, 0.5, "max-CN wins");
+        assert_eq!(round[0].reporters, 2);
+    }
+
+    #[test]
+    fn baseline_reports_rounds_and_run_occurrences() {
+        let recorder = RunRecorder::shared(1);
+        let mut b = BaselineBolt::new(recorder.clone());
+        let mut cap = Capture::default();
+        // {1,2} seen 4 times; singleton {9} skipped (no Jaccard for 1 tag)
+        for _ in 0..4 {
+            b.on_message(Msg::TagSet { time: Timestamp(0), tags: ts(&[1, 2]) }, &mut cap);
+        }
+        for _ in 0..9 {
+            b.on_message(Msg::TagSet { time: Timestamp(0), tags: ts(&[9]) }, &mut cap);
+        }
+        b.on_message(Msg::Tick { round: 0, time: Timestamp(10) }, &mut cap);
+        {
+            let rec = recorder.lock();
+            let round = rec.baseline_rounds.get(&0).unwrap();
+            assert_eq!(round.len(), 1);
+            assert_eq!(round[0].tags, ts(&[1, 2]));
+            assert_eq!(round[0].counter, 4);
+            assert_eq!(round[0].jaccard, 1.0);
+        }
+        // round state cleared, run occurrences persist until flush
+        b.on_message(Msg::TagSet { time: Timestamp(11), tags: ts(&[1, 2]) }, &mut cap);
+        b.on_message(Msg::Tick { round: 1, time: Timestamp(20) }, &mut cap);
+        assert_eq!(
+            recorder.lock().baseline_rounds.get(&1).unwrap()[0].counter,
+            1
+        );
+        b.on_flush(&mut cap);
+        assert_eq!(
+            recorder.lock().baseline_occurrences.get(&ts(&[1, 2])),
+            Some(&5)
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Post-run aggregation: one [`RunReport`] per experiment configuration.
+
+use crate::recorder::RunRecorder;
+use serde::Serialize;
+use setcorr_metrics::{gini, Chart, ErrorStats, Series};
+use setcorr_model::FxHashMap;
+use setcorr_model::TagSet;
+
+/// Everything a figure needs from one run, serialisable to JSON for
+/// EXPERIMENTS.md bookkeeping.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Algorithm name (DS/SCC/SCL/SCI).
+    pub algorithm: String,
+    /// Number of partitions / Calculators.
+    pub k: usize,
+    /// Number of Partitioners `P`.
+    pub partitioners: usize,
+    /// Repartition threshold `thr`.
+    pub thr: f64,
+    /// Arrival rate in tweets/second.
+    pub tps: u64,
+    /// Documents fed into the topology.
+    pub documents: u64,
+    /// Average notifications per routed tagset (Fig. 3 metric).
+    pub avg_communication: f64,
+    /// Per-Calculator share of notifications (Fig. 9 metric).
+    pub load_shares: Vec<f64>,
+    /// Gini of `load_shares` (Fig. 4 metric).
+    pub load_gini: f64,
+    /// Largest load share.
+    pub max_load_share: f64,
+    /// Repartitions triggered by communication drift (Fig. 6).
+    pub repartitions_communication: u64,
+    /// Repartitions triggered by both drifts at once (Fig. 6).
+    pub repartitions_both: u64,
+    /// Repartitions triggered by load drift (Fig. 6).
+    pub repartitions_load: u64,
+    /// Single Additions performed (§7.1).
+    pub single_additions: u64,
+    /// Partition installations (merges).
+    pub merges: u64,
+    /// Fraction of baseline tagsets (seen > sn times) that received some
+    /// coefficient (§8.2.3 reports > 97 %).
+    pub coverage: f64,
+    /// Mean absolute Jaccard error vs the centralized baseline (Fig. 5).
+    pub mean_abs_error: f64,
+    /// Number of baseline tagsets compared.
+    pub compared_tagsets: u64,
+    /// Tagsets routed to at least one Calculator.
+    pub routed_tagsets: u64,
+    /// Tagged tagsets that could not be routed (bootstrap / unknown tags).
+    pub unrouted_tagsets: u64,
+    /// Communication-over-time samples (Fig. 8), skipped in JSON.
+    #[serde(skip)]
+    pub comm_series: Series,
+    /// Per-Calculator load-over-time samples (Fig. 9), skipped in JSON.
+    #[serde(skip)]
+    pub load_chart: Chart,
+    /// Repartition markers `(x, cause)` for the over-time plots.
+    pub repartition_marks: Vec<(u64, String)>,
+    /// Deduplicated coefficients per report round (round id ascending),
+    /// skipped in JSON — the downstream-analytics feed (§6.2's Tracker
+    /// output; what enBlogue-style trend detection consumes).
+    #[serde(skip)]
+    pub tracked_rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)>,
+}
+
+/// Sightings filter for the accuracy comparison: the baseline "considers
+/// only tagsets appearing more than 3 times" (§8.2.3).
+pub const BASELINE_MIN_SIGHTINGS: u64 = 3;
+
+/// Report rounds excluded from the accuracy comparison. Round 0 contains
+/// the cold start (no partitions exist until the bootstrap repartition
+/// completes); the paper measures a warmed-up system, so comparing the
+/// bootstrap round would only measure an artifact of finite-stream runs.
+pub const WARMUP_ROUNDS: u64 = 1;
+
+impl RunReport {
+    /// Aggregate a finished run.
+    ///
+    /// `meta` fields identify the configuration; `documents` is the stream
+    /// length the source produced.
+    pub fn from_recorder(
+        algorithm: &str,
+        k: usize,
+        partitioners: usize,
+        thr: f64,
+        tps: u64,
+        documents: u64,
+        recorder: &RunRecorder,
+    ) -> Self {
+        let shares = recorder.load_shares();
+        let (rep_comm, rep_both, rep_load) = recorder.repartitions_by_cause();
+        let error = accuracy(recorder);
+        RunReport {
+            algorithm: algorithm.to_string(),
+            k,
+            partitioners,
+            thr,
+            tps,
+            documents,
+            avg_communication: recorder.avg_communication(),
+            load_gini: gini(&shares),
+            max_load_share: shares.iter().copied().fold(0.0, f64::max),
+            load_shares: shares,
+            repartitions_communication: rep_comm,
+            repartitions_both: rep_both,
+            repartitions_load: rep_load,
+            single_additions: recorder.single_additions,
+            merges: recorder.merges,
+            coverage: error.coverage(),
+            mean_abs_error: error.mean_abs_error(),
+            compared_tagsets: error.baseline_tagsets(),
+            routed_tagsets: recorder.routed_tagsets,
+            unrouted_tagsets: recorder.unrouted_tagsets,
+            comm_series: recorder.comm_series.clone(),
+            load_chart: recorder.load_chart.clone(),
+            repartition_marks: recorder
+                .repartitions
+                .iter()
+                .map(|&(x, cause)| (x, cause.to_string()))
+                .collect(),
+            tracked_rounds: {
+                let mut rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)> = recorder
+                    .tracked_rounds
+                    .iter()
+                    .map(|(&r, coeffs)| (r, coeffs.clone()))
+                    .collect();
+                rounds.sort_by_key(|&(r, _)| r);
+                rounds
+            },
+        }
+    }
+
+    /// Total repartitions.
+    pub fn repartitions_total(&self) -> u64 {
+        self.repartitions_communication + self.repartitions_both + self.repartitions_load
+    }
+}
+
+/// Compare tracked rounds against the exact baseline (Fig. 5 / §8.2.3).
+///
+/// Two measurements over the *eligible* population — input tagsets of ≥ 2
+/// tags seen more than [`BASELINE_MIN_SIGHTINGS`] times across the run:
+///
+/// * **coverage**: the fraction of eligible tagsets (appearing in some
+///   post-warm-up round) for which the distributed pipeline reported at
+///   least one coefficient in a round where the baseline saw the tagset too
+///   ("all algorithms manage to compute a Jaccard coefficient for more than
+///   97% of the tagsets seen more than 3 times"),
+/// * **error**: mean `|J_dist − J_exact|` over all post-warm-up
+///   `(round, tagset)` pairs where both sides reported.
+fn accuracy(recorder: &RunRecorder) -> ErrorStats {
+    let mut stats = ErrorStats::new();
+    let eligible = |tags: &TagSet| {
+        recorder
+            .baseline_occurrences
+            .get(tags)
+            .map_or(false, |&n| n > BASELINE_MIN_SIGHTINGS)
+    };
+    // Per-(round, tagset) error over co-reported pairs.
+    let mut covered: FxHashMap<&TagSet, bool> = FxHashMap::default();
+    for (round, exact) in &recorder.baseline_rounds {
+        if *round < WARMUP_ROUNDS {
+            continue;
+        }
+        let tracked: FxHashMap<&TagSet, f64> = recorder
+            .tracked_rounds
+            .get(round)
+            .map(|coeffs| coeffs.iter().map(|c| (&c.tags, c.jaccard)).collect())
+            .unwrap_or_default();
+        for report in exact {
+            if !eligible(&report.tags) {
+                continue;
+            }
+            let got = tracked.get(&report.tags).copied();
+            let slot = covered.entry(&report.tags).or_insert(false);
+            *slot |= got.is_some();
+            if let Some(est) = got {
+                stats.observe_error_only(est, report.jaccard);
+            }
+        }
+    }
+    for (_, was_covered) in covered {
+        stats.observe_coverage(was_covered);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcorr_core::{CoefficientReport, TrackedCoefficient};
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    fn exact(ids: &[u32], j: f64, cn: u64) -> CoefficientReport {
+        CoefficientReport {
+            tags: ts(ids),
+            jaccard: j,
+            counter: cn,
+        }
+    }
+
+    fn tracked(ids: &[u32], j: f64) -> TrackedCoefficient {
+        TrackedCoefficient {
+            tags: ts(ids),
+            jaccard: j,
+            counter: 1,
+            reporters: 1,
+        }
+    }
+
+    #[test]
+    fn accuracy_uses_run_level_eligibility() {
+        let mut rec = RunRecorder::new(2);
+        // run-level occurrence counts: {1,2} and {5,6} eligible (> 3),
+        // {3,4} not
+        rec.baseline_occurrences.insert(ts(&[1, 2]), 10);
+        rec.baseline_occurrences.insert(ts(&[3, 4]), 2);
+        rec.baseline_occurrences.insert(ts(&[5, 6]), 7);
+        rec.baseline_rounds.insert(
+            1,
+            vec![
+                exact(&[1, 2], 0.5, 4), // eligible, tracked → error sample
+                exact(&[3, 4], 0.9, 2), // ineligible
+                exact(&[5, 6], 0.4, 3), // eligible, never tracked
+            ],
+        );
+        rec.tracked_rounds
+            .insert(1, vec![tracked(&[1, 2], 0.6), tracked(&[9, 10], 0.1)]);
+        let report = RunReport::from_recorder("DS", 2, 1, 0.5, 1300, 100, &rec);
+        assert_eq!(report.compared_tagsets, 2, "two eligible tagsets");
+        assert!((report.coverage - 0.5).abs() < 1e-12);
+        assert!(
+            (report.mean_abs_error - 0.1).abs() < 1e-12,
+            "{}",
+            report.mean_abs_error
+        );
+    }
+
+    #[test]
+    fn coverage_counts_distinct_tagsets_across_rounds() {
+        let mut rec = RunRecorder::new(2);
+        rec.baseline_occurrences.insert(ts(&[1, 2]), 9);
+        // appears in two rounds, covered only in the second → still covered
+        rec.baseline_rounds.insert(1, vec![exact(&[1, 2], 0.5, 4)]);
+        rec.baseline_rounds.insert(2, vec![exact(&[1, 2], 0.5, 5)]);
+        rec.tracked_rounds.insert(2, vec![tracked(&[1, 2], 0.5)]);
+        let report = RunReport::from_recorder("DS", 2, 1, 0.5, 1300, 100, &rec);
+        assert_eq!(report.compared_tagsets, 1);
+        assert!((report.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(report.mean_abs_error, 0.0);
+    }
+
+    #[test]
+    fn warmup_round_is_excluded_from_accuracy() {
+        let mut rec = RunRecorder::new(2);
+        rec.baseline_occurrences.insert(ts(&[1, 2]), 10);
+        rec.baseline_rounds.insert(0, vec![exact(&[1, 2], 0.5, 10)]);
+        let report = RunReport::from_recorder("DS", 2, 1, 0.5, 1300, 100, &rec);
+        assert_eq!(report.compared_tagsets, 0);
+        assert_eq!(report.coverage, 1.0);
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let rec = RunRecorder::new(2);
+        let report = RunReport::from_recorder("SCC", 2, 3, 0.2, 2600, 10, &rec);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"algorithm\":\"SCC\""));
+        assert!(json.contains("\"tps\":2600"));
+    }
+
+    #[test]
+    fn repartition_totals() {
+        let mut rec = RunRecorder::new(1);
+        rec.repartitions
+            .push((1, setcorr_core::RepartitionCause::Load));
+        rec.repartitions
+            .push((2, setcorr_core::RepartitionCause::Communication));
+        let report = RunReport::from_recorder("DS", 1, 1, 0.5, 1300, 10, &rec);
+        assert_eq!(report.repartitions_total(), 2);
+        assert_eq!(report.repartition_marks.len(), 2);
+    }
+}

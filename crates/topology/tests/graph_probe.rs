@@ -1,0 +1,32 @@
+//! Diagnostic (ignored): component structure of bootstrap windows.
+use setcorr_core::*;
+use setcorr_model::*;
+use setcorr_workload::{Generator, WorkloadConfig};
+
+#[test]
+#[ignore]
+fn probe_components() {
+    let docs: Vec<Document> = Generator::new(WorkloadConfig::with_seed(2))
+        .take(60_000)
+        .filter(|d| d.is_tagged())
+        .collect();
+    for n in [1000usize, 3000, 6000, 12000] {
+        let stats: Vec<TagSetStat> = docs[..n]
+            .iter()
+            .map(|d| TagSetStat { tags: d.tags.clone(), count: 1 })
+            .collect();
+        let input = PartitionInput::from_stats(stats);
+        let comps = connected_components(&input);
+        let top: Vec<String> = comps.components.iter().take(5)
+            .map(|c| format!("(tags {} docs {})", c.tags.len(), c.docs))
+            .collect();
+        println!(
+            "window {n}: distinct_tags={} comps={} max_tag_share={:.3} max_doc_share={:.3} top={:?}",
+            input.distinct_tags(),
+            comps.components.len(),
+            comps.report().max_tag_share,
+            comps.report().max_doc_share,
+            top
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload configuration.
+
+/// Parameters of the synthetic Twitter-like stream.
+///
+/// Defaults reproduce the regime §5.1 measures on real Twitter data, scaled
+/// so a laptop-scale run exhibits the same phenomena: many small connected
+/// components, occasional larger ones, continuous arrival of unseen tags and
+/// tag combinations.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// PRNG seed; runs are fully reproducible per seed.
+    pub seed: u64,
+    /// Number of topic-specific vocabularies alive at any time. Users
+    /// "select tags from topic-specific vocabularies" (§5.1), which is what
+    /// keeps the tag graph fragmented.
+    pub n_topics: usize,
+    /// Tags per topic vocabulary.
+    pub tags_per_topic: usize,
+    /// Size of the joint (cross-topic) vocabulary.
+    pub joint_vocab_size: usize,
+    /// Probability α that a tag is drawn from the tweet's topic; with
+    /// probability 1 − α it comes from the joint vocabulary, creating
+    /// cross-topic edges (§5.1: "if tags from a joint vocabulary are used
+    /// with probability 1 − α a large connected component can develop").
+    pub alpha: f64,
+    /// Maximum tags per tweet (paper analyses mmax ∈ {6, 8}).
+    pub mmax: usize,
+    /// Zipf skew of the tags-per-tweet distribution (paper: s = 0.25;
+    /// rank 1 = zero tags).
+    pub tag_count_skew: f64,
+    /// Zipf skew of topic popularity.
+    pub topic_skew: f64,
+    /// Zipf skew of tag popularity inside a topic.
+    pub tag_skew: f64,
+    /// Zipf skew of joint-vocabulary tag popularity. Kept flatter than the
+    /// per-topic skew: a steep skew concentrates the cross-topic bridges on
+    /// a handful of hot tags and welds the whole graph into one giant
+    /// component — the supercritical regime the paper's data is *not* in
+    /// (§5.1 measures np ≈ 0.11–0.85).
+    pub joint_skew: f64,
+    /// Tweets per second — controls how much event time a window covers
+    /// (§8.1 varies 1300 / 2600 tps).
+    pub tps: u64,
+    /// Emit untagged tweets (rank-1 of the Zipf; they carry load but no
+    /// tags). Disable to stream only tagged documents.
+    pub include_untagged: bool,
+    /// Replace the least popular topic with a brand-new one (fresh tag ids)
+    /// every this-many documents — the "new tags and unseen tag
+    /// combinations" dynamics of §7. `None` disables drift.
+    pub new_topic_every: Option<u64>,
+    /// Promote a random cold topic to the top popularity rank every
+    /// this-many documents — *trending*. This is the non-stationarity the
+    /// paper's quality monitoring exists for: "the relative popularity of
+    /// the assigned tagsets changes deteriorating the quality of the
+    /// partitions" (§3). `None` disables trending.
+    pub trend_every: Option<u64>,
+    /// Expected documents between burst starts (retweet cascades). A burst
+    /// focuses traffic on one topic — and often one exact tagset — for a
+    /// stretch of documents, producing the short-timescale load/communication
+    /// spikes that real Twitter exhibits and that trip the §7.2 quality
+    /// monitor. `None` disables bursts.
+    pub burst_every: Option<u64>,
+    /// Mean burst duration in documents (geometric).
+    pub burst_len: u64,
+    /// Probability that a document during a burst comes from the burst's
+    /// topic (the rest follow the background mix).
+    pub burst_focus: f64,
+    /// Probability that a burst-topic document repeats the burst's anchor
+    /// tagset verbatim (a retweet) instead of drawing fresh tags.
+    pub burst_repeat: f64,
+    /// Probability that a non-retweet burst document mixes in tags from
+    /// another topic ("quote tweets": the cascade hashtag plus personal
+    /// tags) — §5.1's "content drift … can cause mixing tags from different
+    /// topics", the mechanism that inflates communication between
+    /// repartitions.
+    pub burst_hybrid: f64,
+    /// Canonical tag combinations ("phrases") per topic. Real hashtag usage
+    /// repeats exact combinations heavily (the paper's day of data has 15 M
+    /// tweets but only ~700 k *distinct* ones); phrases model conventional
+    /// combos like `{#munich, #oktoberfest}`.
+    pub phrases_per_topic: usize,
+    /// Probability that a topic document uses one of the topic's phrases
+    /// verbatim instead of drawing fresh tags.
+    pub phrase_prob: f64,
+    /// Probability that a freely-drawn tag is brand new (never seen before;
+    /// `#day3`-style one-offs). Real Twitter mints ~600 k distinct tags per
+    /// day, most used once or twice — tag usage is heavily conventionalised.
+    pub fresh_tag_prob: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0xC0FFEE,
+            n_topics: 2500,
+            tags_per_topic: 16,
+            joint_vocab_size: 3000,
+            alpha: 0.992,
+            mmax: 8,
+            tag_count_skew: 0.25,
+            topic_skew: 0.8,
+            tag_skew: 0.9,
+            joint_skew: 0.25,
+            tps: 1300,
+            include_untagged: true,
+            new_topic_every: Some(6_000),
+            trend_every: Some(3_500),
+            burst_every: Some(700),
+            burst_len: 350,
+            burst_focus: 0.75,
+            burst_repeat: 0.6,
+            burst_hybrid: 0.35,
+            phrases_per_topic: 8,
+            phrase_prob: 0.7,
+            fresh_tag_prob: 0.10,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Config with a specific seed, other parameters default.
+    pub fn with_seed(seed: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Validate parameter sanity; called by the generator.
+    pub fn validate(&self) {
+        assert!(self.n_topics >= 1, "need at least one topic");
+        assert!(self.tags_per_topic >= 1, "topics need tags");
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be a probability"
+        );
+        assert!(self.mmax >= 1, "mmax must be at least 1");
+        assert!(
+            self.mmax <= setcorr_model::MAX_TAGS_PER_SET,
+            "mmax exceeds the tagset size cap"
+        );
+        assert!(self.tps >= 1, "tps must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.burst_focus)
+                && (0.0..=1.0).contains(&self.burst_repeat)
+                && (0.0..=1.0).contains(&self.burst_hybrid),
+            "burst probabilities must be in [0,1]"
+        );
+        assert!(self.burst_len >= 1, "burst_len must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.phrase_prob)
+                && (0.0..=1.0).contains(&self.fresh_tag_prob),
+            "phrase/fresh probabilities must be in [0,1]"
+        );
+    }
+
+    /// Event-time spacing between consecutive documents, in milliseconds
+    /// (fractional spacing is accumulated exactly by the generator).
+    pub fn millis_per_doc(&self) -> f64 {
+        1000.0 / self.tps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        WorkloadConfig::default().validate();
+    }
+
+    #[test]
+    fn spacing_matches_tps() {
+        let mut c = WorkloadConfig::default();
+        c.tps = 1300;
+        assert!((c.millis_per_doc() - 0.769230).abs() < 1e-3);
+        c.tps = 2600;
+        assert!((c.millis_per_doc() - 0.384615).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let mut c = WorkloadConfig::default();
+        c.alpha = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn rejects_huge_mmax() {
+        let mut c = WorkloadConfig::default();
+        c.mmax = 99;
+        c.validate();
+    }
+}

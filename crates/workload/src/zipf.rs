@@ -1,0 +1,124 @@
+//! Zipf sampling.
+//!
+//! The workload model of §5.1 is Zipfian three times over: the number of
+//! tags per tweet (s = 0.25, rank 1 = zero tags), the popularity of topics,
+//! and the popularity of tags inside a topic. [`ZipfSampler`] draws ranks in
+//! `O(log n)` via an inverse-CDF table.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability `∝ 1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with skew `s ≥ 0` (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0, "negative skew is not Zipf");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // first index with cdf >= u
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(10, 0.25);
+        let total: f64 = (0..10).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_ranks_are_more_likely() {
+        let z = ZipfSampler::new(8, 1.0);
+        for r in 0..7 {
+            assert!(z.pmf(r) > z.pmf(r + 1));
+        }
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let z = ZipfSampler::new(5, 0.0);
+        for r in 0..5 {
+            assert!((z.pmf(r) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = ZipfSampler::new(6, 0.25);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0u64; 6];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..6 {
+            let emp = counts[r] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(r)).abs() < 0.01,
+                "rank {r}: {emp} vs {}",
+                z.pmf(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = ZipfSampler::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Compare the four partitioning algorithms of §4 on one window snapshot,
+//! next to the §5.2 analytic expectation for random partitions.
+//!
+//! ```sh
+//! cargo run --release --example partition_comparison
+//! ```
+
+use setcorr::core::{connected_components, partition, AlgorithmKind, PartitionInput};
+use setcorr::prelude::*;
+use setcorr::theory::expected_communication;
+use setcorr::model::TagSetStat;
+
+fn main() {
+    // One partition window: ~20 seconds of tweets at 1300/s.
+    let generator = Generator::new(WorkloadConfig::with_seed(5));
+    let stats: Vec<TagSetStat> = generator
+        .filter(|d| d.is_tagged())
+        .take(13_000)
+        .map(|d| TagSetStat {
+            tags: d.tags,
+            count: 1,
+        })
+        .collect();
+    let input = PartitionInput::from_stats(stats);
+    let components = connected_components(&input);
+    let connectivity = components.report();
+    println!(
+        "window: {} docs, {} distinct tagsets, {} distinct tags",
+        input.total_docs,
+        input.len(),
+        input.distinct_tags()
+    );
+    println!(
+        "tag graph: {} disjoint sets; largest holds {:.1}% of tags / {:.1}% of docs\n",
+        connectivity.n_components,
+        connectivity.max_tag_share * 100.0,
+        connectivity.max_doc_share * 100.0
+    );
+
+    let k = 10;
+    println!(
+        "{:>5} {:>12} {:>10} {:>10} {:>13} {:>10}",
+        "algo", "avg comm", "max load", "gini", "replication", "uncovered"
+    );
+    for algorithm in AlgorithmKind::ALL {
+        let partitions = partition(algorithm, &input, k, 42);
+        let quality = partitions.evaluate(&input);
+        println!(
+            "{:>5} {:>12.3} {:>10.3} {:>10.3} {:>13.3} {:>10}",
+            algorithm.name(),
+            quality.avg_communication,
+            quality.max_load_share,
+            quality.load_gini,
+            partitions.replication_factor(),
+            quality.uncovered_tagsets
+        );
+    }
+
+    // §5.2: what *random* equal-sized partitions would cost on this window.
+    let v = input.distinct_tags() as u64;
+    let n = input.total_docs;
+    let m = 2; // typical tagged tweet carries ~2 tags
+    println!(
+        "\n§5.2 analytic E[comm] for random partitions (v={v}, n={n}, k={k}, m={m}): {:.3}",
+        expected_communication(v, n, k as u64, m)
+    );
+    println!(
+        "(the communication-minded algorithms beat the random bound; SCL exceeds it\n\
+         deliberately — it spends replication to buy its near-zero load Gini)"
+    );
+}

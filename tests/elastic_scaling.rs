@@ -1,0 +1,83 @@
+//! §7.3 topology scaling: "The Partitioners can specify the actual number of
+//! Calculators that are used at any time by adjusting the number of
+//! partitions they create. Only Calculators that are assigned a partition
+//! are indexed by the Disseminators, receive documents and compute Jaccard
+//! coefficients."
+
+use setcorr::prelude::*;
+
+fn config(elastic: Option<u64>) -> ExperimentConfig {
+    ExperimentConfig {
+        algorithm: AlgorithmKind::Scl,
+        k: 10,
+        partitioners: 3,
+        report_period: TimeDelta::from_secs(10),
+        window: WindowKind::Time(TimeDelta::from_secs(10)),
+        bootstrap_after: 1500,
+        elastic_docs_per_calc: elastic,
+        ..ExperimentConfig::for_algorithm(AlgorithmKind::Scl)
+    }
+}
+
+fn active_calcs(report: &RunReport) -> usize {
+    report.load_shares.iter().filter(|&&s| s > 0.0).count()
+}
+
+#[test]
+fn low_rate_streams_use_fewer_calculators() {
+    let mut workload = WorkloadConfig::with_seed(41);
+    workload.tps = 200; // sleepy stream: 10 s windows hold ~2000 docs
+    let docs: Vec<Document> = Generator::new(workload).take(20_000).collect();
+    // target ~1300 docs per calculator → 2 active of 10
+    let report = run_docs(&config(Some(1_300)), docs, RunMode::Sim);
+    let active = active_calcs(&report);
+    assert!(
+        active < 10,
+        "sleepy stream still spread over all calculators ({active})"
+    );
+    assert!(report.routed_tagsets > 0);
+    assert!(report.merges >= 1);
+}
+
+#[test]
+fn full_rate_streams_use_all_calculators() {
+    let docs: Vec<Document> = Generator::new(WorkloadConfig::with_seed(43))
+        .take(40_000)
+        .collect();
+    // 10 s windows at 1300 tps = 13 000 docs → 13000/1300 = 10 active.
+    // Bootstrap after a full window: k_active is sized from the window the
+    // merge actually sees (a cold bootstrap sizes conservatively and stays
+    // there until quality drifts — §7.3 scaling is merge-driven).
+    let mut cfg = config(Some(1_300));
+    cfg.bootstrap_after = 7_000; // ≈ tagged docs of one full window
+    let report = run_docs(&cfg, docs, RunMode::Sim);
+    assert!(
+        active_calcs(&report) >= 8,
+        "full-rate stream used only {} calculators",
+        active_calcs(&report)
+    );
+}
+
+#[test]
+fn elastic_and_fixed_agree_when_all_calcs_are_needed() {
+    let docs: Vec<Document> = Generator::new(WorkloadConfig::with_seed(47))
+        .take(30_000)
+        .collect();
+    let fixed = run_docs(&config(None), docs.clone(), RunMode::Sim);
+    let elastic = run_docs(&config(Some(1)), docs, RunMode::Sim); // 1 doc/calc → k_active = k
+    assert_eq!(fixed.documents, elastic.documents);
+    assert_eq!(active_calcs(&fixed), active_calcs(&elastic));
+}
+
+#[test]
+fn coverage_survives_elastic_scaling() {
+    let mut workload = WorkloadConfig::with_seed(53);
+    workload.tps = 400;
+    let docs: Vec<Document> = Generator::new(workload).take(40_000).collect();
+    let report = run_docs(&config(Some(2_000)), docs, RunMode::Sim);
+    assert!(
+        report.coverage > 0.9,
+        "elastic scaling broke coverage: {}",
+        report.coverage
+    );
+}

@@ -1,0 +1,236 @@
+//! Property-based invariant tests across the workspace (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setcorr::core::{
+    connected_components, partition, AlgorithmKind, Calculator, PartitionInput, UnionFind,
+};
+use setcorr::metrics::{gini, lorenz_curve};
+use setcorr::model::{TagSet, TagSetStat, TagSetWindow, Timestamp};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Strategy: a window of small random tagsets with counts.
+fn tagset_window() -> impl Strategy<Value = Vec<(Vec<u32>, u64)>> {
+    vec((vec(0u32..40, 1..6), 1u64..20), 1..60)
+}
+
+fn build_input(specs: &[(Vec<u32>, u64)]) -> PartitionInput {
+    PartitionInput::from_stats(
+        specs
+            .iter()
+            .map(|(ids, count)| TagSetStat {
+                tags: TagSet::from_ids(ids),
+                count: *count,
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    /// §1.1 requirement 1: every algorithm must cover every input tagset.
+    #[test]
+    fn all_algorithms_cover_every_tagset(
+        specs in tagset_window(),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let input = build_input(&specs);
+        for algorithm in AlgorithmKind::ALL {
+            let parts = partition(algorithm, &input, k, seed);
+            prop_assert_eq!(parts.k(), k);
+            for stat in &input.stats {
+                prop_assert!(
+                    parts.covers(&stat.tags),
+                    "{} k={} left {:?} uncovered", algorithm, k, stat.tags
+                );
+            }
+        }
+    }
+
+    /// DS never replicates a tag (its defining structural property).
+    #[test]
+    fn ds_is_replication_free(specs in tagset_window(), k in 1usize..8) {
+        let input = build_input(&specs);
+        let parts = partition(AlgorithmKind::Ds, &input, k, 0);
+        let mut seen = HashSet::new();
+        for p in &parts.parts {
+            for &t in &p.tags {
+                prop_assert!(seen.insert(t), "tag {t} in two DS partitions");
+            }
+        }
+        prop_assert!((parts.replication_factor() - 1.0).abs() < 1e-12);
+    }
+
+    /// Partition loads are conserved by the set-cover algorithms: the sum of
+    /// partition bookkeeping loads equals the sum of tagset loads.
+    #[test]
+    fn setcover_load_bookkeeping_is_conserved(specs in tagset_window(), k in 1usize..6) {
+        let input = build_input(&specs);
+        let expected: u64 = input.loads.iter().sum();
+        for algorithm in [AlgorithmKind::Scc, AlgorithmKind::Scl, AlgorithmKind::Sci] {
+            let parts = partition(algorithm, &input, k, 1);
+            let got: u64 = parts.parts.iter().map(|p| p.load).sum();
+            prop_assert_eq!(got, expected, "{}", algorithm);
+        }
+    }
+
+    /// The tagset-graph components partition both the tags and the documents.
+    #[test]
+    fn components_partition_tags_and_docs(specs in tagset_window()) {
+        let input = build_input(&specs);
+        let comps = connected_components(&input);
+        let total_docs: u64 = comps.components.iter().map(|c| c.docs).sum();
+        prop_assert_eq!(total_docs, input.total_docs);
+        let mut tags = HashSet::new();
+        for c in &comps.components {
+            for &t in &c.tags {
+                prop_assert!(tags.insert(t), "tag in two components");
+            }
+        }
+        prop_assert_eq!(tags.len(), input.distinct_tags());
+        // every tagset's tags land in exactly one component
+        for stat in &input.stats {
+            let owners = comps
+                .components
+                .iter()
+                .filter(|c| stat.tags.iter().any(|t| c.tags.contains(&t)))
+                .count();
+            prop_assert_eq!(owners, 1);
+        }
+    }
+
+    /// Union-find agrees with a naive label-propagation reference.
+    #[test]
+    fn union_find_matches_naive(edges in vec((0u32..30, 0u32..30), 0..60)) {
+        let mut uf = UnionFind::new(30);
+        let mut labels: Vec<u32> = (0..30).collect();
+        for &(a, b) in &edges {
+            uf.union(a, b);
+            let (la, lb) = (labels[a as usize], labels[b as usize]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb { *l = la; }
+                }
+            }
+        }
+        for i in 0..30u32 {
+            for j in 0..30u32 {
+                prop_assert_eq!(
+                    uf.connected(i, j),
+                    labels[i as usize] == labels[j as usize]
+                );
+            }
+        }
+        let distinct: HashSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(uf.set_count(), distinct.len());
+    }
+
+    /// Inclusion–exclusion in the Calculator equals brute-force set algebra.
+    #[test]
+    fn calculator_matches_brute_force(docs in vec(vec(0u32..8, 1..5), 1..60)) {
+        let mut calc = Calculator::new();
+        for d in &docs {
+            calc.observe(&TagSet::from_ids(d));
+        }
+        // check every pair and a few triples
+        let universe: BTreeSet<u32> = docs.iter().flatten().copied().collect();
+        let tags: Vec<u32> = universe.into_iter().collect();
+        for (i, &a) in tags.iter().enumerate() {
+            for &b in &tags[i + 1..] {
+                let inter = docs.iter().filter(|d| d.contains(&a) && d.contains(&b)).count();
+                let union = docs.iter().filter(|d| d.contains(&a) || d.contains(&b)).count();
+                let expected = (inter > 0).then(|| inter as f64 / union as f64);
+                let got = calc.jaccard(&TagSet::from_ids(&[a, b]));
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(e), Some(g)) => prop_assert!((e - g).abs() < 1e-12),
+                    other => prop_assert!(false, "mismatch {:?}", other),
+                }
+            }
+        }
+    }
+
+    /// Jaccard coefficients are always within (0, 1].
+    #[test]
+    fn reported_coefficients_are_probabilities(docs in vec(vec(0u32..10, 1..5), 1..50)) {
+        let mut calc = Calculator::new();
+        for d in &docs {
+            calc.observe(&TagSet::from_ids(d));
+        }
+        for report in calc.report_and_reset() {
+            prop_assert!(report.jaccard > 0.0 && report.jaccard <= 1.0);
+            prop_assert!(report.counter >= 1);
+        }
+    }
+
+    /// Gini is in [0, 1), zero for uniform, and scale invariant.
+    #[test]
+    fn gini_bounds_and_invariance(loads in vec(0.0f64..1000.0, 1..40), scale in 0.1f64..100.0) {
+        let g = gini(&loads);
+        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
+        let scaled: Vec<f64> = loads.iter().map(|&x| x * scale).collect();
+        prop_assert!((gini(&scaled) - g).abs() < 1e-9);
+        let uniform = vec![3.5; loads.len()];
+        prop_assert!(gini(&uniform).abs() < 1e-12);
+        // Lorenz curve stays under the diagonal
+        for (x, y) in lorenz_curve(&loads) {
+            prop_assert!(y <= x + 1e-9);
+        }
+    }
+
+    /// TagSet operations agree with BTreeSet reference semantics.
+    #[test]
+    fn tagset_ops_match_btreeset(a in vec(0u32..50, 0..10), b in vec(0u32..50, 0..10)) {
+        let ts_a = TagSet::from_ids(&a);
+        let ts_b = TagSet::from_ids(&b);
+        let set_a: BTreeSet<u32> = a.iter().copied().collect();
+        let set_b: BTreeSet<u32> = b.iter().copied().collect();
+        prop_assert_eq!(ts_a.len(), set_a.len());
+        prop_assert_eq!(ts_a.intersection_len(&ts_b), set_a.intersection(&set_b).count());
+        prop_assert_eq!(ts_a.union_len(&ts_b), set_a.union(&set_b).count());
+        prop_assert_eq!(ts_a.intersects(&ts_b), !set_a.is_disjoint(&set_b));
+        prop_assert_eq!(ts_a.is_subset_of(&ts_b), set_a.is_subset(&set_b));
+    }
+
+    /// Count windows never hold more than their capacity and keep exact
+    /// aggregate counts.
+    #[test]
+    fn count_window_capacity_and_counts(
+        inserts in vec(vec(0u32..10, 0..4), 1..80),
+        cap in 1usize..30,
+    ) {
+        let mut w = TagSetWindow::count(cap);
+        for (i, ids) in inserts.iter().enumerate() {
+            w.insert(TagSet::from_ids(ids), Timestamp(i as u64));
+        }
+        prop_assert!(w.live_docs() as usize <= cap);
+        // reference: last `cap` tagsets
+        let start = inserts.len().saturating_sub(cap);
+        let mut reference: HashMap<TagSet, u64> = HashMap::new();
+        for ids in &inserts[start..] {
+            *reference.entry(TagSet::from_ids(ids)).or_insert(0) += 1;
+        }
+        prop_assert_eq!(w.distinct_tagsets(), reference.len());
+        for (ts, count) in reference {
+            prop_assert_eq!(w.count_of(&ts), count);
+        }
+    }
+
+    /// Tagset loads are consistent: `l_j` ≥ own count, ≤ total docs, and
+    /// equals the brute-force count of intersecting documents.
+    #[test]
+    fn input_loads_match_brute_force(specs in tagset_window()) {
+        let input = build_input(&specs);
+        for (j, stat) in input.stats.iter().enumerate() {
+            let brute: u64 = input
+                .stats
+                .iter()
+                .filter(|other| other.tags.intersects(&stat.tags))
+                .map(|other| other.count)
+                .sum();
+            prop_assert_eq!(input.loads[j], brute);
+            prop_assert!(input.loads[j] >= stat.count);
+            prop_assert!(input.loads[j] <= input.total_docs);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Validate the §5 analytic models against simulation:
+//! Erdős–Rényi giant components, the communication model, and the workload
+//! generator's agreement with the §5.1 measurements.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setcorr::core::{connected_components, PartitionInput, UnionFind};
+use setcorr::model::{TagSet, TagSetStat};
+use setcorr::theory::{expected_communication, giant_component_fraction, regime, Regime};
+use setcorr::workload::{Generator, WorkloadConfig, ZipfSampler};
+
+/// Sample G(n, p) and return the largest component's share of vertices.
+fn sampled_giant_share(n: u32, p: f64, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut uf = UnionFind::new(n as usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                uf.union(i, j);
+            }
+        }
+    }
+    let mut largest = 0;
+    for i in 0..n {
+        largest = largest.max(uf.set_size(i));
+    }
+    largest as f64 / n as f64
+}
+
+#[test]
+fn giant_component_fraction_matches_simulation() {
+    let n = 2_000u32;
+    for c in [1.5f64, 2.0, 3.0] {
+        let p = c / n as f64;
+        let mut shares = Vec::new();
+        for seed in 0..5 {
+            shares.push(sampled_giant_share(n, p, seed));
+        }
+        let mean: f64 = shares.iter().sum::<f64>() / shares.len() as f64;
+        let predicted = giant_component_fraction(c);
+        assert!(
+            (mean - predicted).abs() < 0.08,
+            "c={c}: sampled {mean:.3} vs predicted {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn subcritical_graphs_have_no_giant_component() {
+    let n = 2_000u32;
+    let share = sampled_giant_share(n, 0.5 / n as f64, 7);
+    assert!(share < 0.05, "np=0.5 gave giant share {share}");
+    assert_eq!(regime(0.5), Regime::Subcritical);
+}
+
+#[test]
+fn communication_model_bounds_random_partition_simulation() {
+    // Assign v tags to k partitions at random via n/k "tweets" of m tags per
+    // partition; measure how many partitions an unseen tweet touches.
+    let (v, n, k, m) = (2_000u32, 6_000u64, 10usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut owners: Vec<Vec<usize>> = vec![Vec::new(); v as usize];
+    for t in 0..n {
+        let partition = (t % k as u64) as usize;
+        for _ in 0..m {
+            let tag = rng.gen_range(0..v) as usize;
+            if !owners[tag].contains(&partition) {
+                owners[tag].push(partition);
+            }
+        }
+    }
+    let mut touched = 0u64;
+    let trials = 3_000u64;
+    for _ in 0..trials {
+        let mut parts = std::collections::BTreeSet::new();
+        for _ in 0..m {
+            let tag = rng.gen_range(0..v) as usize;
+            for &p in &owners[tag] {
+                parts.insert(p);
+            }
+        }
+        touched += parts.len() as u64;
+    }
+    let simulated = touched as f64 / trials as f64;
+    let predicted = expected_communication(v as u64, n, k as u64, m as u64);
+    assert!(
+        (simulated - predicted).abs() / predicted < 0.15,
+        "simulated {simulated:.3} vs predicted {predicted:.3}"
+    );
+}
+
+#[test]
+fn workload_tag_count_distribution_matches_the_paper_model() {
+    // §5.1: tags-per-tweet is Zipf(s = 0.25), rank 1 = zero tags.
+    let config = WorkloadConfig::with_seed(21);
+    let mmax = config.mmax;
+    let skew = config.tag_count_skew;
+    let docs: Vec<_> = Generator::new(config).take(100_000).collect();
+    let mut hist = vec![0u64; mmax + 1];
+    for d in &docs {
+        hist[d.tags.len().min(mmax)] += 1;
+    }
+    let zipf = ZipfSampler::new(mmax + 1, skew);
+    for (rank, &count) in hist.iter().enumerate() {
+        let expected = zipf.pmf(rank) * docs.len() as f64;
+        let observed = count as f64;
+        // loose tolerance: phrase/burst substitutions perturb individual
+        // sizes, but the overall law must hold within 25 %
+        assert!(
+            (observed - expected).abs() < expected * 0.25 + 300.0,
+            "rank {rank}: observed {observed}, Zipf expects {expected:.0}"
+        );
+    }
+}
+
+#[test]
+fn workload_windows_are_subcritical_at_paper_scale() {
+    // The paper's premise (§5.1): 5-minute windows sit below or near the
+    // phase transition, so DS remains applicable. Our default workload must
+    // reproduce that regime at the default experiment window (~13 k tagged
+    // docs): the largest component may not dominate the window.
+    let stats: Vec<TagSetStat> = Generator::new(WorkloadConfig::with_seed(23))
+        .filter(|d| d.is_tagged())
+        .take(13_000)
+        .map(|d| TagSetStat {
+            tags: d.tags,
+            count: 1,
+        })
+        .collect();
+    let input = PartitionInput::from_stats(stats);
+    let report = connected_components(&input).report();
+    assert!(
+        report.max_doc_share < 0.5,
+        "largest component holds {:.1}% of docs — supercritical window",
+        report.max_doc_share * 100.0
+    );
+    assert!(
+        report.n_components > 100,
+        "only {} components — far too coupled",
+        report.n_components
+    );
+}
+
+#[test]
+fn tagset_dedup_mirrors_real_data() {
+    // The paper observed ~700 k distinct among 15 M daily tweets; our
+    // generator must likewise repeat exact tagsets heavily (phrases,
+    // retweets) — the property Single Additions rely on.
+    let docs: Vec<_> = Generator::new(WorkloadConfig::with_seed(29))
+        .take(60_000)
+        .filter(|d| d.is_tagged())
+        .collect();
+    let distinct: std::collections::HashSet<&TagSet> = docs.iter().map(|d| &d.tags).collect();
+    let ratio = distinct.len() as f64 / docs.len() as f64;
+    assert!(
+        ratio < 0.9,
+        "almost every tagset is unique (ratio {ratio:.2}) — no conventional reuse"
+    );
+    assert!(ratio > 0.2, "implausibly repetitive (ratio {ratio:.2})");
+}
