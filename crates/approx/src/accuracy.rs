@@ -1,0 +1,74 @@
+//! Exact-vs-approximate accuracy measurement.
+//!
+//! Feeds the same notification stream to the exact [`Calculator`] and an
+//! [`ApproxCalculator`], then compares every pair coefficient the exact
+//! backend tracked against the approximate estimate, accumulating the
+//! comparison in a [`setcorr_metrics::ErrorStats`] — the same accumulator
+//! the distributed pipeline uses for its Fig. 5 baseline comparison, so
+//! approximate-backend error reports read identically to distributed-error
+//! reports.
+
+use crate::calculator::{ApproxCalculator, ApproxParams};
+use setcorr_core::{Calculator, CorrelationBackend};
+use setcorr_metrics::ErrorStats;
+use setcorr_model::TagSet;
+
+/// Run `tagsets` through both backends and compare all exact pair
+/// coefficients of pairs seen at least `min_count` times.
+///
+/// `observe(Some(est), truth)` is recorded per covered pair and
+/// `observe(None, truth)` per pair the approximate backend missed, so
+/// [`ErrorStats::coverage`] doubles as a recall measure for the sketch path.
+pub fn exact_vs_approx(tagsets: &[TagSet], params: ApproxParams, min_count: u64) -> ErrorStats {
+    let mut exact = Calculator::new();
+    let mut approx = ApproxCalculator::new(params);
+    for tags in tagsets {
+        CorrelationBackend::observe(&mut exact, tags);
+        approx.observe(tags);
+    }
+    let mut stats = ErrorStats::new();
+    for report in exact.report_and_reset() {
+        if report.tags.len() != 2 || report.counter < min_count {
+            continue;
+        }
+        stats.observe(approx.jaccard(&report.tags), report.jaccard);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn perfect_streams_report_zero_error() {
+        let stream: Vec<TagSet> = std::iter::repeat_n(ts(&[1, 2]), 200).collect();
+        let stats = exact_vs_approx(&stream, ApproxParams::default(), 1);
+        assert_eq!(stats.baseline_tagsets(), 1);
+        assert!((stats.coverage() - 1.0).abs() < 1e-12);
+        assert!(stats.mean_abs_error() < 1e-12, "J=1 is estimated exactly");
+    }
+
+    #[test]
+    fn mixed_stream_stays_within_the_minhash_bound() {
+        // three overlapping pair populations with distinct coefficients
+        let mut stream: Vec<TagSet> = Vec::new();
+        stream.extend(std::iter::repeat_n(ts(&[1, 2]), 400)); // J(1,2) ≈ 0.5
+        stream.extend(std::iter::repeat_n(ts(&[1]), 200));
+        stream.extend(std::iter::repeat_n(ts(&[2]), 200));
+        stream.extend(std::iter::repeat_n(ts(&[3, 4]), 300)); // J(3,4) ≈ 0.75
+        stream.extend(std::iter::repeat_n(ts(&[3]), 100));
+        let stats = exact_vs_approx(&stream, ApproxParams::default(), 1);
+        assert_eq!(stats.baseline_tagsets(), 2);
+        assert_eq!(stats.coverage(), 1.0);
+        assert!(
+            stats.max_abs_error() < 0.05,
+            "max error {} exceeds the k=256 budget",
+            stats.max_abs_error()
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Heavy co-occurring pair detection: Count-Min counts + a bounded top-k
+//! candidate set, with epoch-over-epoch *emerging pair* scoring.
+//!
+//! The paper's §2 objection to sketches is that testing *all* tag pairs
+//! against a sketch drowns in phantom co-occurrences. This detector sidesteps
+//! the objection the way Cormode & Dark (2017) recover correlation outliers:
+//! it only ever touches pairs that *actually arrive* in a document (so a
+//! pure phantom pair — one that never co-occurs — is never considered), uses
+//! the Count-Min sketch (conservative update) for their frequencies, and
+//! keeps a bounded candidate set of the heaviest ones. Memory is
+//! `O(cms + capacity)` however many distinct pairs the stream produces.
+//!
+//! [`HeavyPairs::roll_epoch`] closes a report period: it returns the top
+//! pairs scored against the *previous* period's counts, flagging the pairs
+//! whose traffic is new or sharply grown — the emerging-story signal the
+//! paper motivates with the enBlogue use case.
+
+use setcorr_model::{FxHashMap, Tag, TagSet};
+use setcorr_sketch::{pair_key, CountMinSketch};
+
+/// One heavy co-occurring pair with its estimated window count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyPair {
+    /// The pair, ordered (`a < b`).
+    pub a: Tag,
+    /// Second tag.
+    pub b: Tag,
+    /// Count-Min estimate of its co-occurrence count (never under the true
+    /// count).
+    pub count: u64,
+}
+
+impl HeavyPair {
+    /// The pair as a two-tag [`TagSet`].
+    pub fn tagset(&self) -> TagSet {
+        TagSet::new(vec![self.a, self.b])
+    }
+}
+
+/// A heavy pair scored against the previous epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmergingPair {
+    /// The pair and its current-epoch count.
+    pub pair: HeavyPair,
+    /// Its estimated count in the previous epoch (0 = brand new).
+    pub previous: u64,
+    /// `count / max(previous, 1)` — the epoch-over-epoch growth factor.
+    pub growth: f64,
+}
+
+fn decode(key: u64) -> (Tag, Tag) {
+    (Tag(key as u32), Tag((key >> 32) as u32))
+}
+
+/// Count-Min-backed top-k heavy/emerging pair detector.
+#[derive(Debug, Clone)]
+pub struct HeavyPairs {
+    cms: CountMinSketch,
+    /// How many pairs [`HeavyPairs::top`] returns.
+    capacity: usize,
+    /// Candidate pairs and their latest estimates. Bounded at
+    /// `4 × capacity`; pruning keeps the heaviest `2 × capacity` and
+    /// raises the admission threshold to the lightest survivor.
+    candidates: FxHashMap<u64, u64>,
+    /// Admission threshold established by the last prune.
+    threshold: u64,
+    /// Previous epoch's top estimates, for emergence scoring.
+    previous: FxHashMap<u64, u64>,
+    /// Pair observations this epoch (with multiplicity).
+    observed: u64,
+}
+
+impl HeavyPairs {
+    /// A detector tracking the top `capacity` pairs over a
+    /// `cms_width × cms_depth` Count-Min sketch.
+    pub fn new(capacity: usize, cms_width: usize, cms_depth: usize) -> Self {
+        assert!(capacity >= 1, "need at least one tracked pair");
+        HeavyPairs {
+            cms: CountMinSketch::new(cms_width, cms_depth),
+            capacity,
+            candidates: FxHashMap::default(),
+            threshold: 0,
+            previous: FxHashMap::default(),
+            observed: 0,
+        }
+    }
+
+    /// Tracked-pair budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Candidate pairs currently held (≤ `4 × capacity`).
+    pub fn candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Pair observations this epoch (with multiplicity).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Count every unordered tag pair of one arriving tagset.
+    pub fn observe(&mut self, tags: &TagSet) {
+        let slice = tags.tags();
+        for (i, &a) in slice.iter().enumerate() {
+            for &b in &slice[i + 1..] {
+                let key = pair_key(a.0, b.0);
+                self.observed += 1;
+                let estimate = self.cms.add(key, 1);
+                if estimate >= self.threshold || self.candidates.len() < 2 * self.capacity {
+                    self.candidates.insert(key, estimate);
+                    if self.candidates.len() > 4 * self.capacity {
+                        self.prune();
+                    }
+                } else if let Some(slot) = self.candidates.get_mut(&key) {
+                    *slot = estimate;
+                }
+            }
+        }
+    }
+
+    /// Count-Min point estimate for a pair (0 = provably never co-occurred,
+    /// since Count-Min never under-counts).
+    pub fn estimate(&self, a: Tag, b: Tag) -> u64 {
+        self.cms.query(pair_key(a.0, b.0))
+    }
+
+    /// Keep the heaviest `2 × capacity` candidates; the lightest survivor
+    /// becomes the admission threshold.
+    fn prune(&mut self) {
+        let keep = 2 * self.capacity;
+        let mut entries: Vec<(u64, u64)> = self.candidates.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        entries.truncate(keep);
+        self.threshold = entries.last().map_or(0, |&(_, v)| v);
+        self.candidates = entries.into_iter().collect();
+    }
+
+    /// The current top pairs, heaviest first (ties broken by pair id for
+    /// determinism), at most `capacity` of them.
+    pub fn top(&self) -> Vec<HeavyPair> {
+        let mut entries: Vec<(u64, u64)> = self
+            .candidates
+            .iter()
+            .map(|(&key, _)| (key, self.cms.query(key)))
+            .collect();
+        entries.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        entries.truncate(self.capacity);
+        entries
+            .into_iter()
+            .map(|(key, count)| {
+                let (a, b) = decode(key);
+                HeavyPair { a, b, count }
+            })
+            .collect()
+    }
+
+    /// Close the epoch: score the top pairs against the previous epoch,
+    /// remember their counts for the next comparison, and clear all
+    /// counting state. Results are sorted by growth factor (then count),
+    /// so brand-new heavy pairs — the emerging stories — lead.
+    pub fn roll_epoch(&mut self) -> Vec<EmergingPair> {
+        let top = self.top();
+        let mut emerging: Vec<EmergingPair> = top
+            .iter()
+            .map(|pair| {
+                let key = pair_key(pair.a.0, pair.b.0);
+                let previous = self.previous.get(&key).copied().unwrap_or(0);
+                EmergingPair {
+                    pair: pair.clone(),
+                    previous,
+                    growth: pair.count as f64 / previous.max(1) as f64,
+                }
+            })
+            .collect();
+        emerging.sort_unstable_by(|x, y| {
+            y.growth
+                .partial_cmp(&x.growth)
+                .expect("growth is finite")
+                .then(y.pair.count.cmp(&x.pair.count))
+                .then(x.pair.a.cmp(&y.pair.a))
+                .then(x.pair.b.cmp(&y.pair.b))
+        });
+        self.previous = top
+            .iter()
+            .map(|p| (pair_key(p.a.0, p.b.0), p.count))
+            .collect();
+        let (width, depth) = self.cms.dims();
+        self.cms = CountMinSketch::new(width, depth);
+        self.candidates.clear();
+        self.threshold = 0;
+        self.observed = 0;
+        emerging
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn top_pairs_surface_the_heaviest() {
+        let mut h = HeavyPairs::new(3, 512, 4);
+        for _ in 0..50 {
+            h.observe(&ts(&[1, 2]));
+        }
+        for _ in 0..30 {
+            h.observe(&ts(&[3, 4]));
+        }
+        for _ in 0..5 {
+            h.observe(&ts(&[5, 6]));
+        }
+        h.observe(&ts(&[7, 8]));
+        let top = h.top();
+        assert_eq!(top.len(), 3);
+        assert_eq!((top[0].a, top[0].b), (Tag(1), Tag(2)));
+        assert!(top[0].count >= 50, "CMS never under-counts");
+        assert_eq!((top[1].a, top[1].b), (Tag(3), Tag(4)));
+        assert_eq!((top[2].a, top[2].b), (Tag(5), Tag(6)));
+    }
+
+    #[test]
+    fn larger_tagsets_contribute_all_pairs() {
+        let mut h = HeavyPairs::new(10, 256, 4);
+        h.observe(&ts(&[1, 2, 3]));
+        assert_eq!(h.observed(), 3, "{{1,2}},{{1,3}},{{2,3}}");
+        assert!(h.estimate(Tag(1), Tag(3)) >= 1);
+        assert_eq!(h.estimate(Tag(4), Tag(5)), 0, "never observed");
+    }
+
+    #[test]
+    fn candidate_set_stays_bounded() {
+        let mut h = HeavyPairs::new(8, 1024, 4);
+        for i in 0..2_000u32 {
+            h.observe(&ts(&[2 * i, 2 * i + 1]));
+        }
+        assert!(
+            h.candidates() <= 4 * 8,
+            "candidates grew to {}",
+            h.candidates()
+        );
+        // the repeatedly-hit pair must survive the churn
+        for _ in 0..100 {
+            h.observe(&ts(&[9_991, 9_992]));
+        }
+        let top = h.top();
+        assert_eq!((top[0].a, top[0].b), (Tag(9_991), Tag(9_992)));
+    }
+
+    #[test]
+    fn heavy_pairs_survive_prune_churn() {
+        // a pair hit early and often must still rank top after thousands of
+        // one-off pairs flow through the candidate set
+        let mut h = HeavyPairs::new(4, 2048, 4);
+        for _ in 0..200 {
+            h.observe(&ts(&[1, 2]));
+        }
+        for i in 0..5_000u32 {
+            h.observe(&ts(&[10 + 2 * i, 11 + 2 * i]));
+        }
+        for _ in 0..10 {
+            h.observe(&ts(&[1, 2])); // re-touch after the churn
+        }
+        let top = h.top();
+        assert_eq!((top[0].a, top[0].b), (Tag(1), Tag(2)));
+        assert!(top[0].count >= 210);
+    }
+
+    #[test]
+    fn roll_epoch_scores_emergence_and_resets() {
+        let mut h = HeavyPairs::new(4, 512, 4);
+        for _ in 0..40 {
+            h.observe(&ts(&[1, 2]));
+        }
+        let first = h.roll_epoch();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].previous, 0, "first epoch: everything is new");
+        assert!(first[0].growth >= 40.0);
+        assert_eq!(h.observed(), 0, "epoch state cleared");
+        assert!(h.top().is_empty());
+
+        // next epoch: the old pair persists at similar volume, a new pair
+        // bursts — the burst must outrank the steady pair
+        for _ in 0..45 {
+            h.observe(&ts(&[1, 2]));
+        }
+        for _ in 0..30 {
+            h.observe(&ts(&[8, 9]));
+        }
+        let second = h.roll_epoch();
+        assert_eq!(second.len(), 2);
+        assert_eq!(
+            (second[0].pair.a, second[0].pair.b),
+            (Tag(8), Tag(9)),
+            "brand-new pair leads on growth"
+        );
+        assert_eq!(second[1].previous, 40);
+        assert!(second[1].growth < 2.0, "steady pair has ~1x growth");
+    }
+
+    #[test]
+    fn tagset_roundtrip() {
+        let p = HeavyPair {
+            a: Tag(3),
+            b: Tag(7),
+            count: 5,
+        };
+        assert_eq!(p.tagset(), ts(&[3, 7]));
+    }
+}

@@ -1,0 +1,42 @@
+//! # setcorr-approx
+//!
+//! The approximate correlation subsystem: a sketch-backed alternative to the
+//! exact inclusion–exclusion Calculator, trading bounded Jaccard error for
+//! memory and speed.
+//!
+//! The paper (§2) dismisses sketch-based designs because testing *all* tag
+//! pairs against per-tag sketches drowns in phantom co-occurrences — the
+//! overhead `setcorr_sketch::SketchCooccurrence` quantifies. This crate
+//! takes the route of *Fast Sketch-based Recovery of Correlation Outliers*
+//! (Cormode & Dark, 2017) instead: never enumerate the pair space; recover
+//! the heavy, correlated pairs directly from what actually arrives.
+//!
+//! * [`MinHashSignature`] / [`MinHasher`] — k-permutation MinHash,
+//!   estimating Jaccard in `O(k)` independent of document-set size,
+//! * [`SignatureStore`] — per-tag signatures over the notification stream or
+//!   a sliding [`setcorr_model::TagSetWindow`] (version-gated rebuilds),
+//! * [`HeavyPairs`] — Count-Min counts + a bounded top-k candidate set with
+//!   epoch-over-epoch *emerging pair* scoring,
+//! * [`ApproxCalculator`] — the pieces assembled behind
+//!   [`setcorr_core::CorrelationBackend`], pluggable wherever the exact
+//!   Calculator goes (select it via the topology's `ExperimentConfig`),
+//! * [`accuracy`] — exact-vs-approx comparison through
+//!   [`setcorr_metrics::ErrorStats`].
+//!
+//! At the default `hashes = 256`, every coefficient estimate carries
+//! standard error ≤ `sqrt(0.25/256)` ≈ 0.031; memory per Calculator is
+//! `O(tags × 256 + cms)` words however large the window grows.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod calculator;
+pub mod heavy;
+pub mod minhash;
+pub mod store;
+
+pub use accuracy::exact_vs_approx;
+pub use calculator::{ApproxCalculator, ApproxParams};
+pub use heavy::{EmergingPair, HeavyPair, HeavyPairs};
+pub use minhash::{estimate_jaccard_many, MinHashSignature, MinHasher};
+pub use store::SignatureStore;

@@ -1,0 +1,229 @@
+//! Per-tag signature maintenance over the tagset stream.
+//!
+//! The exact Calculator's memory grows with the number of *distinct subset
+//! counters* it tracks; a [`SignatureStore`] instead keeps one fixed-size
+//! MinHash signature per live tag — `O(tags × k)` words regardless of how
+//! many documents the window holds — and answers Jaccard queries in `O(k)`.
+//!
+//! Two ways to feed it:
+//!
+//! * **streaming** ([`SignatureStore::observe`]): fold each arriving
+//!   document into the signatures of its tags (the approximate backend's
+//!   per-report-period mode; state is cleared at round boundaries like the
+//!   exact Calculator's counters), or
+//! * **window sync** ([`SignatureStore::sync_window`]): rebuild from a
+//!   [`TagSetWindow`]'s live content, using the window's version counter to
+//!   skip rebuilds when nothing changed (the Partitioner-side mode).
+
+use crate::minhash::{estimate_jaccard_many, mix64, MinHashSignature, MinHasher};
+use setcorr_model::{fx, FxHashMap, Tag, TagSet, TagSetWindow};
+
+/// Per-tag MinHash signatures with shared hash family.
+#[derive(Debug, Clone)]
+pub struct SignatureStore {
+    hasher: MinHasher,
+    signatures: FxHashMap<Tag, MinHashSignature>,
+    /// Documents folded in (with multiplicity).
+    docs: u64,
+    /// Window version this store was last rebuilt against.
+    synced_version: Option<u64>,
+}
+
+impl SignatureStore {
+    /// A store whose signatures use `k` hash permutations derived from
+    /// `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        SignatureStore {
+            hasher: MinHasher::new(k, seed),
+            signatures: FxHashMap::default(),
+            docs: 0,
+            synced_version: None,
+        }
+    }
+
+    /// Number of hash permutations per signature.
+    pub fn hashes(&self) -> usize {
+        self.hasher.k()
+    }
+
+    /// Number of tags currently holding a signature.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True if no tag has a signature yet.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Documents folded in since the last reset/rebuild.
+    pub fn docs(&self) -> u64 {
+        self.docs
+    }
+
+    /// Fold one document into the signatures of its tags. `doc_id` must be
+    /// unique per document (any stable id works; the estimator only needs
+    /// ids to collide exactly when the document is the same).
+    pub fn observe(&mut self, doc_id: u64, tags: &TagSet) {
+        if tags.is_empty() {
+            return;
+        }
+        let k = self.hasher.k();
+        for tag in tags.iter() {
+            self.signatures
+                .entry(tag)
+                .or_insert_with(|| MinHashSignature::new(k))
+                .observe(&self.hasher, doc_id);
+        }
+        self.docs += 1;
+    }
+
+    /// The signature of `tag`, if any document carried it.
+    pub fn signature(&self, tag: Tag) -> Option<&MinHashSignature> {
+        self.signatures.get(&tag)
+    }
+
+    /// Estimated `J(T_a, T_b)` between two tags' document sets, `None` when
+    /// either tag was never observed.
+    pub fn jaccard(&self, a: Tag, b: Tag) -> Option<f64> {
+        self.signatures
+            .get(&a)?
+            .estimate_jaccard(self.signatures.get(&b)?)
+    }
+
+    /// Estimated multi-way Jaccard `|⋂ T_t| / |⋃ T_t|` over all tags of
+    /// `ts` (Eq. 1 of the paper), `None` for trivial tagsets or unobserved
+    /// tags.
+    pub fn jaccard_set(&self, ts: &TagSet) -> Option<f64> {
+        if ts.len() < 2 {
+            return None;
+        }
+        let sigs: Option<Vec<&MinHashSignature>> =
+            ts.iter().map(|t| self.signatures.get(&t)).collect();
+        estimate_jaccard_many(&sigs?)
+    }
+
+    /// Rebuild the signatures from a sliding window's live content. Returns
+    /// `false` without doing any work when the window's
+    /// [`TagSetWindow::version`] is unchanged since the last sync.
+    ///
+    /// Synthetic document ids are derived from each distinct tagset's hash
+    /// and its occurrence index, so equal documents contribute identically
+    /// across all their tags (which is what makes the per-tag sets overlap
+    /// correctly).
+    pub fn sync_window(&mut self, window: &TagSetWindow) -> bool {
+        if self.synced_version == Some(window.version()) {
+            return false;
+        }
+        self.signatures.clear();
+        self.docs = 0;
+        for (tags, count) in window.iter_stats() {
+            let base = fx::hash_one(tags);
+            for occurrence in 0..count {
+                self.observe(base ^ mix64(occurrence.wrapping_add(1)), tags);
+            }
+        }
+        self.synced_version = Some(window.version());
+        true
+    }
+
+    /// Drop all signatures (round boundary).
+    pub fn reset(&mut self) {
+        self.signatures.clear();
+        self.docs = 0;
+        self.synced_version = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setcorr_model::Timestamp;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn streaming_estimates_match_ground_truth() {
+        let mut store = SignatureStore::new(256, 11);
+        // 600 docs {1,2}, 300 docs {1}, 300 docs {2}:
+        // J(1,2) = 600 / 1200 = 0.5
+        let mut doc = 0u64;
+        for _ in 0..600 {
+            store.observe(doc, &ts(&[1, 2]));
+            doc += 1;
+        }
+        for _ in 0..300 {
+            store.observe(doc, &ts(&[1]));
+            doc += 1;
+        }
+        for _ in 0..300 {
+            store.observe(doc, &ts(&[2]));
+            doc += 1;
+        }
+        let est = store.jaccard(Tag(1), Tag(2)).unwrap();
+        assert!((est - 0.5).abs() < 0.08, "J=0.5 estimated at {est}");
+        assert_eq!(store.docs(), 1200);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn unseen_tags_are_none() {
+        let mut store = SignatureStore::new(32, 0);
+        store.observe(1, &ts(&[1, 2]));
+        assert_eq!(store.jaccard(Tag(1), Tag(9)), None);
+        assert_eq!(store.jaccard_set(&ts(&[1])), None, "trivial");
+        assert_eq!(store.jaccard_set(&ts(&[7, 8])), None);
+    }
+
+    #[test]
+    fn multiway_set_estimate() {
+        let mut store = SignatureStore::new(512, 5);
+        let mut doc = 0u64;
+        // 400 docs {1,2,3}, 400 docs {1}: J({1,2,3}) = 400/800 = 0.5
+        for _ in 0..400 {
+            store.observe(doc, &ts(&[1, 2, 3]));
+            doc += 1;
+        }
+        for _ in 0..400 {
+            store.observe(doc, &ts(&[1]));
+            doc += 1;
+        }
+        let est = store.jaccard_set(&ts(&[1, 2, 3])).unwrap();
+        assert!((est - 0.5).abs() < 0.08, "J=0.5 estimated at {est}");
+    }
+
+    #[test]
+    fn window_sync_skips_unchanged_versions_and_tracks_content() {
+        let mut w = TagSetWindow::count(1_000);
+        for i in 0..500 {
+            w.insert(ts(&[1, 2]), Timestamp(i));
+        }
+        for i in 500..1_000 {
+            w.insert(ts(&[2, 3]), Timestamp(i));
+        }
+        let mut store = SignatureStore::new(256, 21);
+        assert!(store.sync_window(&w), "first sync rebuilds");
+        assert!(!store.sync_window(&w), "unchanged window is a no-op");
+        // J(1,2) = 500/1000, J(1,3) = 0
+        let est12 = store.jaccard(Tag(1), Tag(2)).unwrap();
+        assert!((est12 - 0.5).abs() < 0.09, "J=0.5 estimated at {est12}");
+        let est13 = store.jaccard(Tag(1), Tag(3)).unwrap();
+        assert!(est13 < 0.05, "J=0 estimated at {est13}");
+        // mutate → version changes → resync rebuilds
+        w.insert(ts(&[4]), Timestamp(1_000));
+        assert!(store.sync_window(&w));
+        assert!(store.signature(Tag(4)).is_some());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut store = SignatureStore::new(16, 2);
+        store.observe(1, &ts(&[1, 2]));
+        store.reset();
+        assert!(store.is_empty());
+        assert_eq!(store.docs(), 0);
+        assert_eq!(store.jaccard(Tag(1), Tag(2)), None);
+    }
+}

@@ -67,7 +67,11 @@ fn merge_ablation(c: &mut Criterion) {
             missing.insert(&stat.tags, ());
         }
     }
-    assert!(missing.is_empty(), "merge lost coverage for {}", missing.len());
+    assert!(
+        missing.is_empty(),
+        "merge lost coverage for {}",
+        missing.len()
+    );
 }
 
 criterion_group!(benches, merge_ablation);

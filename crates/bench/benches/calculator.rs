@@ -64,5 +64,10 @@ fn bench_report(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe_by_size, bench_observe_stream, bench_report);
+criterion_group!(
+    benches,
+    bench_observe_by_size,
+    bench_observe_stream,
+    bench_report
+);
 criterion_main!(benches);

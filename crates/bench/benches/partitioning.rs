@@ -16,11 +16,9 @@ fn bench_partitioning(c: &mut Criterion) {
         let input = window_input(7, n);
         group.throughput(Throughput::Elements(input.len() as u64));
         for algorithm in AlgorithmKind::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), n),
-                &input,
-                |b, input| b.iter(|| partition(algorithm, input, 10, 42)),
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &input, |b, input| {
+                b.iter(|| partition(algorithm, input, 10, 42))
+            });
         }
     }
     group.finish();

@@ -137,7 +137,12 @@ fn main() {
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).expect("create output dir");
         if let Some(g) = &grid {
-            let json = serde_json::to_string_pretty(&g.reports()).expect("serialise");
+            let rows: Vec<String> = g
+                .reports()
+                .iter()
+                .map(|r| format!("  {}", r.to_json()))
+                .collect();
+            let json = format!("[\n{}\n]\n", rows.join(",\n"));
             std::fs::write(format!("{dir}/grid.json"), json).expect("write grid.json");
         }
         for (name, text) in &rendered {

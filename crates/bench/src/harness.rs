@@ -183,8 +183,20 @@ fn panel_points(panel: &str, algorithm: AlgorithmKind) -> Vec<(String, GridPoint
             ("thr=0.5".into(), base),
         ],
         "b" => vec![
-            ("P=3".into(), GridPoint { partitioners: 3, ..base }),
-            ("P=5".into(), GridPoint { partitioners: 5, ..base }),
+            (
+                "P=3".into(),
+                GridPoint {
+                    partitioners: 3,
+                    ..base
+                },
+            ),
+            (
+                "P=5".into(),
+                GridPoint {
+                    partitioners: 5,
+                    ..base
+                },
+            ),
             ("P=10".into(), base),
         ],
         "c" => vec![
@@ -202,11 +214,7 @@ fn panel_points(panel: &str, algorithm: AlgorithmKind) -> Vec<(String, GridPoint
 
 /// Render one of Figures 3–6 as grouped bar tables (rows = x-axis values,
 /// columns = algorithms), `metric` selecting the figure's y value.
-fn render_bar_figure(
-    grid: &Grid,
-    title: &str,
-    metric: impl Fn(&RunReport) -> String,
-) -> String {
+fn render_bar_figure(grid: &Grid, title: &str, metric: impl Fn(&RunReport) -> String) -> String {
     let mut out = String::new();
     writeln!(out, "==== {title} ====").unwrap();
     for (panel, caption) in PANELS {
@@ -374,7 +382,14 @@ pub fn fig7(scale: &Scale) -> String {
     writeln!(
         out,
         "{:>16} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
-        "window (paper)", "rounds", "tags%(exp)", "tags%(max)", "docs%(exp)", "docs%(max)", "sets(exp)", "sets(max)"
+        "window (paper)",
+        "rounds",
+        "tags%(exp)",
+        "tags%(max)",
+        "docs%(exp)",
+        "docs%(max)",
+        "sets(exp)",
+        "sets(max)"
     )
     .unwrap();
     let docs = (scale.fig7_minutes * 60 * 1300) as usize;
@@ -417,11 +432,22 @@ pub fn ablation(scale: &Scale) -> String {
     use setcorr_core::{connected_components, partition, partition_ds_scl, PartitionInput};
     use setcorr_model::TagSetStat;
     let mut out = String::new();
-    writeln!(out, "==== Ablation: splitting large disjoint sets (DS vs DS+SCL vs SCL) ====").unwrap();
+    writeln!(
+        out,
+        "==== Ablation: splitting large disjoint sets (DS vs DS+SCL vs SCL) ===="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>12} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "window", "giant doc%", "DS comm", "DS gini", "hyb comm", "hyb gini", "SCL comm", "SCL gini"
+        "window",
+        "giant doc%",
+        "DS comm",
+        "DS gini",
+        "hyb comm",
+        "hyb gini",
+        "SCL comm",
+        "SCL gini"
     )
     .unwrap();
     let k = 10;
@@ -431,7 +457,10 @@ pub fn ablation(scale: &Scale) -> String {
         let stats: Vec<TagSetStat> = Generator::new(wconfig)
             .filter(|d| d.is_tagged())
             .take(tagged_docs)
-            .map(|d| TagSetStat { tags: d.tags, count: 1 })
+            .map(|d| TagSetStat {
+                tags: d.tags,
+                count: 1,
+            })
             .collect();
         let input = PartitionInput::from_stats(stats);
         let giant = connected_components(&input).report().max_doc_share;
@@ -469,7 +498,11 @@ the hybrid equals DS while windows stay subcritical, then caps the load
 pub fn sketch_overhead(scale: &Scale) -> String {
     use setcorr_sketch::SketchCooccurrence;
     let mut out = String::new();
-    writeln!(out, "==== Section 2: why sketches are the wrong tool here ====").unwrap();
+    writeln!(
+        out,
+        "==== Section 2: why sketches are the wrong tool here ===="
+    )
+    .unwrap();
     let mut wconfig = WorkloadConfig::with_seed(scale.seed);
     wconfig.tps = 1300;
     let docs: Vec<setcorr_model::Document> = Generator::new(wconfig)
@@ -525,7 +558,11 @@ every spurious pair would become a tracked tagset at some Calculator —
 pub fn theory() -> String {
     use setcorr_theory::*;
     let mut out = String::new();
-    writeln!(out, "==== Section 5.1: Erdős–Rényi regime of the tag graph ====").unwrap();
+    writeln!(
+        out,
+        "==== Section 5.1: Erdős–Rényi regime of the tag graph ===="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>10} {:>6} {:>14} {:>8} {:>14}",
@@ -551,11 +588,21 @@ pub fn theory() -> String {
         np_from_measured_pairs(600_000.0, 34_000.0)
     )
     .unwrap();
-    writeln!(out, "\ngiant component fraction ζ(c): c=1.1 → {:.3}, c=1.5 → {:.3}, c=2 → {:.3}, c=3 → {:.3}",
-        giant_component_fraction(1.1), giant_component_fraction(1.5),
-        giant_component_fraction(2.0), giant_component_fraction(3.0)).unwrap();
+    writeln!(
+        out,
+        "\ngiant component fraction ζ(c): c=1.1 → {:.3}, c=1.5 → {:.3}, c=2 → {:.3}, c=3 → {:.3}",
+        giant_component_fraction(1.1),
+        giant_component_fraction(1.5),
+        giant_component_fraction(2.0),
+        giant_component_fraction(3.0)
+    )
+    .unwrap();
 
-    writeln!(out, "\n==== Section 5.2: expected communication of random equal partitions ====").unwrap();
+    writeln!(
+        out,
+        "\n==== Section 5.2: expected communication of random equal partitions ===="
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>10} {:>8} {:>4} {:>4} {:>10}",

@@ -38,7 +38,10 @@ pub fn partition_ds_scl(
     seed: u64,
 ) -> PartitionSet {
     assert!(k >= 1);
-    assert!(max_share > 0.0 && max_share <= 1.0, "share must be in (0,1]");
+    assert!(
+        max_share > 0.0 && max_share <= 1.0,
+        "share must be in (0,1]"
+    );
     let components = connected_components(input);
     let threshold = (input.total_docs as f64 * max_share).max(1.0) as u64;
 
@@ -63,8 +66,9 @@ pub fn partition_ds_scl(
                 load: input.loads[idx as usize],
             })
             .collect();
-        let sub_k = ((component.docs + threshold - 1) / threshold).max(2) as usize;
-        let split = partition_setcover_groups(items, sub_k.min(k.max(2)), SetCoverVariant::Load, seed);
+        let sub_k = component.docs.div_ceil(threshold).max(2) as usize;
+        let split =
+            partition_setcover_groups(items, sub_k.min(k.max(2)), SetCoverVariant::Load, seed);
         for p in split.parts {
             if p.tags.is_empty() {
                 continue;

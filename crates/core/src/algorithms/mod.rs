@@ -201,7 +201,10 @@ mod tests {
                 let ps = partition(kind, &inp, k, 42);
                 assert_eq!(ps.k(), k, "{kind} k={k}");
                 let q = ps.evaluate(&inp);
-                assert_eq!(q.uncovered_tagsets, 0, "{kind} k={k} left tagsets uncovered");
+                assert_eq!(
+                    q.uncovered_tagsets, 0,
+                    "{kind} k={k} left tagsets uncovered"
+                );
             }
         }
     }

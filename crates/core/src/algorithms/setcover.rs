@@ -318,7 +318,7 @@ fn choose_max_overlap_random(parts: &PartitionSet, tags: &[Tag], rng: &mut XorSh
             ties = 1;
         } else if o == best_overlap {
             ties += 1;
-            if rng.next_u64() % ties == 0 {
+            if rng.next_u64().is_multiple_of(ties) {
                 best = i;
             }
         }
@@ -429,8 +429,7 @@ mod tests {
         for i in 0..4u32 {
             specs.push((vec![100 + i], 5));
         }
-        let spec_refs: Vec<(&[u32], u64)> =
-            specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
+        let spec_refs: Vec<(&[u32], u64)> = specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
         let inp = input(&spec_refs);
         let scc = partition_setcover(&inp, 4, SetCoverVariant::Communication, 0).evaluate(&inp);
         let scl = partition_setcover(&inp, 4, SetCoverVariant::Load, 0).evaluate(&inp);
@@ -462,7 +461,11 @@ mod tests {
         for variant in [SetCoverVariant::Communication, SetCoverVariant::Load] {
             let a = partition_setcover(&inp, 3, variant, 1);
             let b = partition_setcover(&inp, 3, variant, 999);
-            assert_eq!(parts_tags(&a), parts_tags(&b), "{variant:?} depends on seed");
+            assert_eq!(
+                parts_tags(&a),
+                parts_tags(&b),
+                "{variant:?} depends on seed"
+            );
         }
     }
 
@@ -486,8 +489,7 @@ mod tests {
         // 100 mutually disjoint tagsets, k=4: random tie-breaking must not
         // funnel everything into partition 0.
         let specs: Vec<(Vec<u32>, u64)> = (0..100u32).map(|i| (vec![i], 1)).collect();
-        let spec_refs: Vec<(&[u32], u64)> =
-            specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
+        let spec_refs: Vec<(&[u32], u64)> = specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
         let inp = input(&spec_refs);
         let ps = partition_setcover(&inp, 4, SetCoverVariant::Independent, 3);
         let counts: Vec<usize> = ps.parts.iter().map(|p| p.tags.len()).collect();
@@ -514,8 +516,7 @@ mod tests {
     #[test]
     fn more_tagsets_than_k_all_assigned() {
         let specs: Vec<(Vec<u32>, u64)> = (0..100u32).map(|i| (vec![i, i + 200], 1)).collect();
-        let spec_refs: Vec<(&[u32], u64)> =
-            specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
+        let spec_refs: Vec<(&[u32], u64)> = specs.iter().map(|(v, c)| (v.as_slice(), *c)).collect();
         let inp = input(&spec_refs);
         for variant in [
             SetCoverVariant::Communication,

@@ -1,0 +1,103 @@
+//! The pluggable correlation-computation interface.
+//!
+//! The paper's Calculator (§3.1) computes *exact* Jaccard coefficients by
+//! subset counting and inclusion–exclusion. [`CorrelationBackend`] extracts
+//! that contract so other implementations — notably the MinHash/Count-Min
+//! approximate backend in `setcorr-approx` — can slot into the same operator
+//! position of the Figure 2 topology. A backend owns the per-report-period
+//! correlation state of one Calculator task:
+//!
+//! * it ingests notification tagsets (the subset of a document's tags this
+//!   Calculator was assigned),
+//! * it answers point Jaccard queries between rounds,
+//! * every report period it emits [`CoefficientReport`]s and clears its
+//!   round state.
+//!
+//! The exact [`Calculator`] is the reference implementation; its answers are
+//! ground truth for any approximate backend's accuracy evaluation.
+
+use crate::calculator::{Calculator, CoefficientReport};
+use setcorr_model::TagSet;
+
+/// One Calculator task's correlation state, exact or approximate.
+///
+/// Implementations must be `Send`: backends run inside bolts on the
+/// threaded runtime.
+pub trait CorrelationBackend: Send {
+    /// Short stable identifier ("exact", "approx"), used in run reports.
+    fn name(&self) -> &'static str;
+
+    /// Ingest one notification tagset. Each call is one document's worth of
+    /// assigned tags; empty notifications are ignored.
+    fn observe(&mut self, notification: &TagSet);
+
+    /// The Jaccard coefficient of `ts`, or `None` if `ts` is trivial
+    /// (< 2 tags) or was never observed co-occurring. Approximate backends
+    /// return estimates.
+    fn jaccard(&self, ts: &TagSet) -> Option<f64>;
+
+    /// Emit the coefficients of the closing report period, sorted by tagset,
+    /// and clear all round state (§6.2's "every y time units" step).
+    fn report_and_reset(&mut self) -> Vec<CoefficientReport>;
+
+    /// Distinct units of counting state currently held (subset counters for
+    /// the exact backend; signatures + tracked pairs for approximate ones).
+    /// Used by the runtime to decide whether a final flush is needed.
+    fn tracked(&self) -> usize;
+
+    /// Notifications received in the current report period.
+    fn received(&self) -> u64;
+}
+
+impl CorrelationBackend for Calculator {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn observe(&mut self, notification: &TagSet) {
+        Calculator::observe(self, notification);
+    }
+
+    fn jaccard(&self, ts: &TagSet) -> Option<f64> {
+        Calculator::jaccard(self, ts)
+    }
+
+    fn report_and_reset(&mut self) -> Vec<CoefficientReport> {
+        Calculator::report_and_reset(self)
+    }
+
+    fn tracked(&self) -> usize {
+        Calculator::tracked(self)
+    }
+
+    fn received(&self) -> u64 {
+        Calculator::received(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    /// The trait object path must behave exactly like the concrete type.
+    #[test]
+    fn exact_backend_round_trips_through_the_trait() {
+        let mut backend: Box<dyn CorrelationBackend> = Box::new(Calculator::new());
+        assert_eq!(backend.name(), "exact");
+        backend.observe(&ts(&[1, 2]));
+        backend.observe(&ts(&[1, 2]));
+        backend.observe(&ts(&[1]));
+        assert_eq!(backend.received(), 3);
+        assert_eq!(backend.jaccard(&ts(&[1, 2])), Some(2.0 / 3.0));
+        assert_eq!(backend.jaccard(&ts(&[1])), None, "trivial");
+        let reports = backend.report_and_reset();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].tags, ts(&[1, 2]));
+        assert_eq!(backend.tracked(), 0);
+        assert_eq!(backend.received(), 0);
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod backend;
 pub mod calculator;
 pub mod disseminator;
 pub mod graph;
@@ -40,6 +41,7 @@ pub use algorithms::{
     partition_ds_scl, partition_setcover, partition_setcover_groups, AlgorithmKind,
     SetCoverVariant, WeightedTagList,
 };
+pub use backend::CorrelationBackend;
 pub use calculator::{Calculator, CoefficientReport};
 pub use disseminator::{Disseminator, DisseminatorAction, DisseminatorConfig, RouteResult};
 pub use graph::{connected_components, Component, Components, ConnectivityReport};

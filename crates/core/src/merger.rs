@@ -98,7 +98,11 @@ impl Merger {
     /// DS re-unions sets sharing tags and LPT-packs; the SC variants re-run
     /// *the same set-cover algorithm* over the incoming partitions treated
     /// as (weighted) tagsets, exactly as §6.2 prescribes.
-    pub fn merge(&mut self, outputs: Vec<PartitionerOutput>, window: &PartitionInput) -> MergeOutcome {
+    pub fn merge(
+        &mut self,
+        outputs: Vec<PartitionerOutput>,
+        window: &PartitionInput,
+    ) -> MergeOutcome {
         let k = self.k;
         self.merge_with_k(outputs, window, k)
     }
@@ -289,7 +293,10 @@ mod tests {
             &window(&[(&[1, 2], 5), (&[2, 3], 4), (&[7], 1), (&[8], 2)]),
         );
         let ps = &outcome.partitions;
-        assert!((ps.replication_factor() - 1.0).abs() < 1e-12, "DS stays disjoint");
+        assert!(
+            (ps.replication_factor() - 1.0).abs() < 1e-12,
+            "DS stays disjoint"
+        );
         // merged {1,2,3} (load 9) alone; {7},{8} together (load 3)
         let mut loads: Vec<u64> = ps.parts.iter().map(|p| p.load).collect();
         loads.sort_unstable();

@@ -107,7 +107,7 @@ pub fn run_sim<M: Clone + 'static>(mut topology: Topology<M>) -> SimStats {
     for spec in &mut topology.components {
         match &mut spec.kind {
             ComponentKind::Spout(factory) => {
-                spouts.push((0..spec.parallelism).map(|t| factory(t)).collect());
+                spouts.push((0..spec.parallelism).map(factory).collect());
                 bolts.push(Vec::new());
             }
             ComponentKind::Bolt(factory) => {
@@ -174,22 +174,20 @@ pub fn run_sim<M: Clone + 'static>(mut topology: Topology<M>) -> SimStats {
         .flat_map(|c| (0..spouts[c].len()).map(move |t| (c, t)))
         .collect();
     while !live.is_empty() {
-        live.retain(|&(c, t)| {
-            match spouts[c][t].next() {
-                Some(msg) => {
-                    let mut emitter = SimEmitter {
-                        routing: &routing,
-                        queue: &mut queue,
-                        shuffle_counters: &mut shuffle_counters,
-                        edge_base: edge_base[c],
-                        from: c,
-                        emitted: &mut stats.emitted[c],
-                    };
-                    emitter.emit_spout(msg);
-                    true
-                }
-                None => false,
+        live.retain(|&(c, t)| match spouts[c][t].next() {
+            Some(msg) => {
+                let mut emitter = SimEmitter {
+                    routing: &routing,
+                    queue: &mut queue,
+                    shuffle_counters: &mut shuffle_counters,
+                    edge_base: edge_base[c],
+                    from: c,
+                    emitted: &mut stats.emitted[c],
+                };
+                emitter.emit_spout(msg);
+                true
             }
+            None => false,
         });
         drain!();
     }
@@ -316,9 +314,7 @@ mod tests {
     fn fields_grouping_is_sticky() {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let mut tb = TopologyBuilder::new();
-        let src = tb.add_spout("src", 1, |_| {
-            Box::new([3u64, 7, 3, 7, 3, 11].into_iter())
-        });
+        let src = tb.add_spout("src", 1, |_| Box::new([3u64, 7, 3, 7, 3, 11].into_iter()));
         let sink = {
             let seen = seen.clone();
             tb.add_bolt("sink", 4, move |task| {
@@ -329,12 +325,7 @@ mod tests {
                 }) as Box<dyn Bolt<u64>>
             })
         };
-        tb.connect(
-            src,
-            "out",
-            sink,
-            Grouping::Fields(Arc::new(|m: &u64| *m)),
-        );
+        tb.connect(src, "out", sink, Grouping::Fields(Arc::new(|m: &u64| *m)));
         run_sim(tb.build());
         let seen = seen.lock().unwrap();
         let mut task_of = std::collections::HashMap::new();
@@ -461,7 +452,7 @@ mod tests {
         impl Bolt<u64> for B {
             fn on_message(&mut self, msg: u64, out: &mut dyn Emitter<u64>) {
                 self.seen.lock().unwrap().push(msg);
-                if msg % 2 == 0 && msg < 100 {
+                if msg.is_multiple_of(2) && msg < 100 {
                     out.emit("back", msg + 100);
                 }
             }

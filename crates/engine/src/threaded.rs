@@ -108,9 +108,7 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
             .edges
             .iter()
             .find(|e| e.stream == stream && e.to == to && matches!(e.grouping, Grouping::Direct))
-            .unwrap_or_else(|| {
-                panic!("emit_direct on undeclared Direct edge :{stream} -> {to}")
-            });
+            .unwrap_or_else(|| panic!("emit_direct on undeclared Direct edge :{stream} -> {to}"));
         let _ = edge.senders[task].send(Envelope::Data(msg));
         self.emitted += 1;
     }
@@ -142,9 +140,10 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
 
     // Two channels per bolt task: a bounded *data* inbox (backpressure) and
     // an unbounded *control* inbox for feedback-edge messages.
-    let mut receivers: Vec<Vec<Option<(Receiver<Envelope<M>>, Receiver<Envelope<M>>)>>> =
-        Vec::with_capacity(n);
-    let mut senders: Vec<Vec<(Sender<Envelope<M>>, Sender<Envelope<M>>)>> = Vec::with_capacity(n);
+    type Inboxes<M> = Vec<Vec<Option<(Receiver<Envelope<M>>, Receiver<Envelope<M>>)>>>;
+    type Outboxes<M> = Vec<Vec<(Sender<Envelope<M>>, Sender<Envelope<M>>)>>;
+    let mut receivers: Inboxes<M> = Vec::with_capacity(n);
+    let mut senders: Outboxes<M> = Vec::with_capacity(n);
     for spec in &topology.components {
         let is_bolt = matches!(spec.kind, ComponentKind::Bolt(_));
         let mut rx = Vec::new();
@@ -176,7 +175,13 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
         let feedback = e.feedback;
         let routed: Vec<Sender<Envelope<M>>> = senders[e.to]
             .iter()
-            .map(|pair| if feedback { pair.1.clone() } else { pair.0.clone() })
+            .map(|pair| {
+                if feedback {
+                    pair.1.clone()
+                } else {
+                    pair.0.clone()
+                }
+            })
             .collect();
         edges_of[e.from].push(EdgeRt {
             stream: e.stream,
@@ -211,11 +216,7 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
                         while let Some(msg) = spout.next() {
                             produced += 1;
                             // spouts use their single declared stream
-                            let stream = emitter
-                                .edges
-                                .first()
-                                .map(|e| e.stream)
-                                .unwrap_or("out");
+                            let stream = emitter.edges.first().map(|e| e.stream).unwrap_or("out");
                             debug_assert!(
                                 emitter.edges.iter().all(|e| e.stream == stream),
                                 "spouts must use a single stream"
@@ -228,10 +229,10 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
                 }
             }
             ComponentKind::Bolt(factory) => {
+                #[allow(clippy::needless_range_loop)] // t also names the task
                 for t in 0..parallelism {
                     let mut bolt = factory(t);
-                    let (data_rx, ctl_rx) =
-                        receivers[c][t].take().expect("receiver taken once");
+                    let (data_rx, ctl_rx) = receivers[c][t].take().expect("receiver taken once");
                     let edges = edges_of[c].clone();
                     let n_edges = edges.len();
                     let quota = expected_eos[c];
@@ -317,7 +318,7 @@ mod tests {
         let mut tb = TopologyBuilder::new();
         let src = tb.add_spout("src", 2, |task| {
             let base = task as u64 * 100;
-            Box::new((base..base + 100).into_iter())
+            Box::new(base..base + 100)
         });
         let sink = {
             let total = total.clone();
@@ -348,7 +349,10 @@ mod tests {
         }
         let mut tb = TopologyBuilder::new();
         let src = tb.add_spout("src", 2, |task| {
-            Box::new((0..100u64).map(move |i| (i % 10) + task as u64 * 0))
+            Box::new((0..100u64).map(move |i| {
+                let _ = task;
+                i % 10
+            }))
         });
         let sink = {
             let seen = seen.clone();
@@ -388,7 +392,9 @@ mod tests {
         }
         let mut tb = TopologyBuilder::new();
         let src = tb.add_spout("src", 3, |_| Box::new(0u64..50));
-        let mid = tb.add_bolt("mid", 2, |_| Box::new(Counter { n: 0 }) as Box<dyn Bolt<u64>>);
+        let mid = tb.add_bolt("mid", 2, |_| {
+            Box::new(Counter { n: 0 }) as Box<dyn Bolt<u64>>
+        });
         let sink = {
             let total = total.clone();
             tb.add_bolt("sink", 1, move |_| {

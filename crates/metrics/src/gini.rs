@@ -19,7 +19,10 @@ pub fn gini(loads: &[f64]) -> f64 {
     if n <= 1 {
         return 0.0;
     }
-    debug_assert!(loads.iter().all(|&x| x >= 0.0), "loads must be non-negative");
+    debug_assert!(
+        loads.iter().all(|&x| x >= 0.0),
+        "loads must be non-negative"
+    );
     let total: f64 = loads.iter().sum();
     if total <= 0.0 {
         return 0.0;

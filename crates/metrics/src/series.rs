@@ -24,7 +24,7 @@ impl Series {
     /// Append a sample.
     pub fn record(&mut self, x: u64, y: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(px, _)| px <= x),
+            self.points.last().is_none_or(|&(px, _)| px <= x),
             "x must be monotone"
         );
         self.points.push((x, y));
@@ -97,7 +97,12 @@ impl Chart {
             write!(out, " {:>14}", s.name).unwrap();
         }
         writeln!(out).unwrap();
-        let n_rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let n_rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         let mut marker_iter = self.markers.iter().peekable();
         for row in 0..n_rows {
             let x = self

@@ -48,7 +48,10 @@ impl TagSet {
     /// cap. Validated in debug builds.
     pub fn from_sorted_unchecked(tags: Vec<Tag>) -> Self {
         debug_assert!(tags.len() <= MAX_TAGS_PER_SET);
-        debug_assert!(tags.windows(2).all(|w| w[0] < w[1]), "must be sorted+unique");
+        debug_assert!(
+            tags.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted+unique"
+        );
         TagSet {
             tags: tags.into_boxed_slice(),
         }
@@ -203,7 +206,7 @@ impl TagSet {
         }
         out.extend_from_slice(&self.tags[i..]);
         out.extend_from_slice(&other.tags[j..]);
-        TagSet::new(out.iter().map(|t| *t).collect())
+        TagSet::new(out)
     }
 
     /// The subset of `self` whose tags satisfy `keep` (e.g. "tags assigned to

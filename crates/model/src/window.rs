@@ -49,6 +49,10 @@ pub struct TagSetWindow {
     live_docs: u64,
     /// Total documents ever inserted.
     total_docs: u64,
+    /// Bumped on every content change (insert, eviction, clear), so
+    /// derived structures (e.g. per-tag MinHash signatures in
+    /// `setcorr-approx`) can cheaply detect staleness.
+    version: u64,
 }
 
 impl TagSetWindow {
@@ -62,6 +66,7 @@ impl TagSetWindow {
             free: Vec::new(),
             live_docs: 0,
             total_docs: 0,
+            version: 0,
         }
     }
 
@@ -113,6 +118,7 @@ impl TagSetWindow {
         self.entries.push_back((at, slot));
         self.live_docs += 1;
         self.total_docs += 1;
+        self.version += 1;
         self.evict(at);
     }
 
@@ -140,6 +146,7 @@ impl TagSetWindow {
 
     fn release(&mut self, slot: u32) {
         self.live_docs -= 1;
+        self.version += 1;
         let stat = &mut self.slots[slot as usize];
         stat.count -= 1;
         if stat.count == 0 {
@@ -172,6 +179,23 @@ impl TagSetWindow {
             .unwrap_or(0)
     }
 
+    /// Monotone content-change counter: two calls return the same value iff
+    /// no insert/eviction/clear happened in between. Lets derived window
+    /// structures (approximate signature stores, caches) detect staleness
+    /// without diffing contents.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Iterate the live distinct tagsets with their occurrence counts,
+    /// without materialising a snapshot. Order is unspecified (hash order);
+    /// use [`TagSetWindow::snapshot`] when determinism matters.
+    pub fn iter_stats(&self) -> impl Iterator<Item = (&TagSet, u64)> {
+        self.index
+            .values()
+            .map(|&s| (&self.slots[s as usize].tags, self.slots[s as usize].count))
+    }
+
     /// Materialise the distinct tagsets and counts, sorted by tagset for
     /// deterministic downstream processing.
     pub fn snapshot(&self) -> Vec<TagSetStat> {
@@ -191,6 +215,7 @@ impl TagSetWindow {
         self.index.clear();
         self.free.clear();
         self.live_docs = 0;
+        self.version += 1;
     }
 }
 
@@ -263,6 +288,42 @@ mod tests {
         let snap = w.snapshot();
         let sets: Vec<TagSet> = snap.into_iter().map(|s| s.tags).collect();
         assert_eq!(sets, vec![ts(&[1]), ts(&[2]), ts(&[3])]);
+    }
+
+    #[test]
+    fn version_tracks_every_content_change() {
+        let mut w = TagSetWindow::count(2);
+        let v0 = w.version();
+        w.insert(ts(&[1]), Timestamp(0));
+        let v1 = w.version();
+        assert!(v1 > v0, "insert must bump the version");
+        w.insert(ts(&[2]), Timestamp(1));
+        let v2 = w.version();
+        w.insert(ts(&[3]), Timestamp(2)); // insert + eviction of {1}
+        let v3 = w.version();
+        assert!(v3 > v2 + 1, "eviction bumps on top of the insert");
+        w.clear();
+        assert!(w.version() > v3);
+    }
+
+    #[test]
+    fn iter_stats_matches_snapshot() {
+        let mut w = TagSetWindow::count(10);
+        for i in 0..4 {
+            w.insert(ts(&[7, 8]), Timestamp(i));
+        }
+        w.insert(ts(&[9]), Timestamp(4));
+        let mut via_iter: Vec<(TagSet, u64)> = w
+            .iter_stats()
+            .map(|(tags, count)| (tags.clone(), count))
+            .collect();
+        via_iter.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let via_snapshot: Vec<(TagSet, u64)> = w
+            .snapshot()
+            .into_iter()
+            .map(|s| (s.tags, s.count))
+            .collect();
+        assert_eq!(via_iter, via_snapshot);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Offline stand-in for the subset of the Criterion benchmarking API the
+//! workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and `iter_batched`, `Throughput`, `BenchmarkId`, `black_box`.
+//!
+//! The build environment has no registry access, so this crate implements a
+//! small wall-clock harness instead: each benchmark is warmed up briefly,
+//! then timed over an adaptively chosen iteration count, and the mean
+//! ns/iter (plus derived element throughput) is printed. No statistics, no
+//! HTML reports — enough to compare hot paths on one machine and to keep
+//! every bench target compiling and runnable via `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring one benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Wall-clock budget spent warming one benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Top-level benchmark driver (configuration knobs are accepted and
+/// ignored).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark("", &id.into().label, None, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Work performed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not differentiated).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup runs once per measured batch).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into().label, self.throughput, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; records the timed region.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh `setup` outputs (setup excluded from the
+    /// measurement).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up at one iteration per call, growing until the budget is spent,
+    // to size the measured run.
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warmup_start.elapsed() < WARMUP_BUDGET {
+        f(&mut bench);
+        per_iter = (bench.elapsed / bench.iters as u32).max(Duration::from_nanos(1));
+        if bench.elapsed < Duration::from_millis(5) {
+            bench.iters = bench.iters.saturating_mul(2).min(1 << 24);
+        }
+    }
+    let iters = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    bench.iters = iters;
+    f(&mut bench);
+
+    let ns = bench.ns_per_iter();
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / ns)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {ns:>14.1} ns/iter ({iters} iters){rate}");
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn iter_runs_the_routine() {
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| {
+            b.iter(|| CALLS.fetch_add(1, Ordering::Relaxed))
+        });
+        g.finish();
+        assert!(CALLS.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        static SETUPS: AtomicU64 = AtomicU64::new(0);
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || SETUPS.fetch_add(1, Ordering::Relaxed),
+                |x| x + 1,
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(SETUPS.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for the `crossbeam::channel` surface the threaded engine
+//! runtime uses: `bounded` / `unbounded` MPMC channels, `never`, and a
+//! polling `select!` macro.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! Mutex + Condvar implementation with the same semantics the runtime
+//! depends on:
+//!
+//! * bounded `send` blocks when the queue is full (backpressure) and fails
+//!   once every receiver is gone,
+//! * `recv`/`try_recv` report `Disconnected` only after the queue drains and
+//!   every sender is gone,
+//! * `select!` fires an arm when its channel has a message *or* is
+//!   disconnected (matching crossbeam), parking briefly between polls.
+//!
+//! Throughput is lower than real crossbeam (a global lock per channel, and
+//! `select!` polls instead of registering wakeups), which is irrelevant at
+//! the message rates of the finite-stream experiment topologies.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Core<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when queue space frees up or receivers disappear.
+        send_cv: Condvar,
+        /// Signalled when a message arrives or senders disappear.
+        recv_cv: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] on a drained, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// The channel is drained and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        core: Arc<Core<T>>,
+    }
+
+    /// The receiving half of a channel (or the never-ready channel).
+    pub struct Receiver<T> {
+        core: Option<Arc<Core<T>>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg`, blocking while a bounded channel is at capacity.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.core.inner.lock().expect("channel poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.core.capacity {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.core.send_cv.wait(inner).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.core.recv_cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.core.inner.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                core: self.core.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.core.inner.lock().expect("channel poisoned");
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                self.core.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let core = self.core.as_ref().ok_or(RecvError)?;
+            let mut inner = core.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    core.send_cv.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = core.recv_cv.wait(inner).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let Some(core) = self.core.as_ref() else {
+                // `never()` is permanently pending, not disconnected
+                return Err(TryRecvError::Empty);
+            };
+            let mut inner = core.inner.lock().expect("channel poisoned");
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                core.send_cv.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            if let Some(core) = &self.core {
+                core.inner.lock().expect("channel poisoned").receivers += 1;
+            }
+            Receiver {
+                core: self.core.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let Some(core) = &self.core {
+                let remaining = {
+                    let mut inner = core.inner.lock().expect("channel poisoned");
+                    inner.receivers -= 1;
+                    inner.receivers
+                };
+                if remaining == 0 {
+                    // unblock senders so they observe the disconnect
+                    core.send_cv.notify_all();
+                }
+            }
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let core = Arc::new(Core {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            send_cv: Condvar::new(),
+            recv_cv: Condvar::new(),
+            capacity,
+        });
+        (Sender { core: core.clone() }, Receiver { core: Some(core) })
+    }
+
+    /// A channel whose `send` blocks once `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    /// A channel with an unbounded queue.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A receiver that is never ready (used to park a `select!` arm).
+    pub fn never<T>() -> Receiver<T> {
+        Receiver { core: None }
+    }
+
+    /// Back-off between `select!` polls when no arm is ready.
+    #[doc(hidden)]
+    pub fn park_briefly() {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+
+    /// Typed `Err(RecvError)` constructor for the `select!` expansion (ties
+    /// the message type to the receiver so inference never dangles).
+    #[doc(hidden)]
+    pub fn recv_err_of<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
+        Err(RecvError)
+    }
+
+    pub use crate::select;
+}
+
+/// Polling `select!` over `recv(rx) -> msg => body` arms.
+///
+/// An arm fires when its channel yields a message (`msg` = `Ok(v)`) or is
+/// disconnected (`msg` = `Err(RecvError)`), matching crossbeam's semantics.
+/// `never()` receivers are permanently pending.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
+        'select: loop {
+            $(
+                match $rx.try_recv() {
+                    Ok(__v) => {
+                        #[allow(unreachable_code)]
+                        {
+                            let $msg = ::core::result::Result::<
+                                _,
+                                $crate::channel::RecvError,
+                            >::Ok(__v);
+                            $body;
+                            break 'select;
+                        }
+                    }
+                    Err($crate::channel::TryRecvError::Disconnected) => {
+                        #[allow(unreachable_code)]
+                        {
+                            let $msg = $crate::channel::recv_err_of(&$rx);
+                            $body;
+                            break 'select;
+                        }
+                    }
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            )+
+            $crate::channel::park_briefly();
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, never, unbounded, TryRecvError};
+    use std::thread;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let producer = thread::spawn(move || {
+            tx.send(3).unwrap(); // must block until a recv frees a slot
+            "done"
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(producer.join().unwrap(), "done");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn select_prefers_ready_channel_and_sees_disconnects() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        tx_b.send(7).unwrap();
+        #[allow(unused_assignments)]
+        let mut got = None;
+        crate::select! {
+            recv(rx_a) -> m => got = Some(("a", m.is_ok())),
+            recv(rx_b) -> m => got = Some(("b", m.is_ok())),
+        }
+        assert_eq!(got, Some(("b", true)));
+        drop(tx_a);
+        crate::select! {
+            recv(rx_a) -> m => got = Some(("a", m.is_ok())),
+        }
+        assert_eq!(got, Some(("a", false)), "disconnect fires the arm");
+        drop(tx_b);
+    }
+
+    #[test]
+    fn never_is_permanently_pending() {
+        let rx = never::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        let (tx, data) = unbounded::<u32>();
+        tx.send(5).unwrap();
+        #[allow(unused_assignments)]
+        let mut got = 0;
+        crate::select! {
+            recv(data) -> m => got = m.unwrap(),
+            recv(rx) -> _m => unreachable!("never() must not fire"),
+        }
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn mpmc_under_threads() {
+        let (tx, rx) = bounded::<u64>(8);
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut n = 0u64;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+}

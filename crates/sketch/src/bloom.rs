@@ -189,7 +189,10 @@ mod tests {
             b.insert(i);
         }
         let est = a.estimate_intersection(&b);
-        assert!((est - 1_000.0).abs() < 250.0, "estimated {est} for 1000 shared");
+        assert!(
+            (est - 1_000.0).abs() < 250.0,
+            "estimated {est} for 1000 shared"
+        );
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl SketchCooccurrence {
         let mut sampled = 0u64;
         let mut false_flags = 0u64;
         // deterministic LCG over pair indices
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEFu64;
         while sampled < samples && n >= 2 {
             state = state
                 .wrapping_mul(6364136223846793005)
@@ -156,7 +156,10 @@ impl SketchCooccurrence {
             if i == j {
                 continue;
             }
-            let (a, b) = (tags[i as usize].min(tags[j as usize]), tags[i as usize].max(tags[j as usize]));
+            let (a, b) = (
+                tags[i as usize].min(tags[j as usize]),
+                tags[i as usize].max(tags[j as usize]),
+            );
             if self.true_pairs.contains(&(a, b)) {
                 continue; // only non-co-occurring pairs are of interest
             }

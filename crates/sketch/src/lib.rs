@@ -11,6 +11,20 @@
 //! * [`CountMinSketch`] — pair-count sketching with conservative update,
 //! * [`SketchCooccurrence`] — the sketch-based co-occurrence design plus the
 //!   spurious-pair overhead measurement (`experiments sketch`).
+//!
+//! ## The §2 strawman is superseded
+//!
+//! §2's overhead argument holds for the *naive* design measured here: test
+//! every candidate pair against per-tag sketches, and phantom
+//! co-occurrences dominate. It does not hold for sketch designs that never
+//! enumerate the pair space. The `setcorr-approx` crate builds exactly that
+//! (following Cormode & Dark 2017, *Fast Sketch-based Recovery of
+//! Correlation Outliers*): pairs are only considered when they actually
+//! arrive in a document, this crate's [`CountMinSketch`] counts them with
+//! one-sided error, and MinHash signatures estimate their Jaccard
+//! coefficients in `O(k)`. Keep this crate's `SketchCooccurrence` as the
+//! measured strawman; reach for `setcorr-approx` for a production
+//! approximate backend.
 
 #![warn(missing_docs)]
 

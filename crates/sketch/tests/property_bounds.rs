@@ -1,0 +1,147 @@
+//! Randomised bound properties of the sketch structures, against exact
+//! reference computations:
+//!
+//! * Count-Min point queries never under-count (the one-sided error
+//!   guarantee everything downstream relies on),
+//! * Bloom filters never produce false negatives, and their cardinality /
+//!   intersection estimators stay within tolerance of the exact values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setcorr_sketch::{pair_key, BloomFilter, CountMinSketch};
+use std::collections::{HashMap, HashSet};
+
+/// CMS estimates bound the exact counts from above on skewed random
+/// streams, across sketch shapes.
+#[test]
+fn cms_never_undercounts_random_streams() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for case in 0..20 {
+        let width = [64usize, 256, 1024][rng.gen_range(0usize..3)];
+        let depth = rng.gen_range(1usize..5);
+        let mut cms = CountMinSketch::new(width, depth);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        let keys = rng.gen_range(50usize..2_000);
+        for _ in 0..keys {
+            // zipf-ish key popularity: low keys dominate
+            let key = (rng.gen::<f64>().powi(3) * 500.0) as u64;
+            let count = rng.gen_range(1u64..8);
+            cms.add(key, count);
+            *exact.entry(key).or_insert(0) += count;
+        }
+        for (&key, &count) in &exact {
+            assert!(
+                cms.query(key) >= count,
+                "case {case}: key {key} under-counted ({} < {count}, {width}x{depth})",
+                cms.query(key)
+            );
+        }
+    }
+}
+
+/// Pair-count estimates bound the exact pair counts on random tagset
+/// streams — the contract the heavy-pair detector depends on.
+#[test]
+fn cms_pair_counts_bound_exact_pair_counts() {
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..10 {
+        let mut cms = CountMinSketch::new(512, 4);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..3_000 {
+            let m = rng.gen_range(2usize..5);
+            let tags: Vec<u32> = (0..m).map(|_| rng.gen_range(0u32..60)).collect();
+            for (i, &a) in tags.iter().enumerate() {
+                for &b in &tags[i + 1..] {
+                    if a == b {
+                        continue;
+                    }
+                    let key = pair_key(a, b);
+                    cms.add(key, 1);
+                    *exact.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&key, &count) in &exact {
+            assert!(cms.query(key) >= count, "pair {key} under-counted");
+        }
+        // and the (ε, δ) overestimation bound holds for almost all pairs
+        let epsilon_n = (std::f64::consts::E / 512.0 * cms.total() as f64).ceil() as u64;
+        let violations = exact
+            .iter()
+            .filter(|(&key, &count)| cms.query(key) > count + epsilon_n)
+            .count();
+        assert!(
+            (violations as f64) < 0.05 * exact.len() as f64,
+            "{violations}/{} pairs exceeded the epsilon bound",
+            exact.len()
+        );
+    }
+}
+
+/// Bloom filters have no false negatives, ever.
+#[test]
+fn bloom_has_no_false_negatives_random() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..10 {
+        let n = rng.gen_range(100usize..3_000);
+        let bits = [4usize, 8, 12][rng.gen_range(0usize..3)];
+        let mut bloom = BloomFilter::with_capacity(n, bits);
+        let mut inserted = HashSet::new();
+        for _ in 0..n {
+            let item: u64 = rng.gen();
+            bloom.insert(item);
+            inserted.insert(item);
+        }
+        for &item in &inserted {
+            assert!(bloom.contains(item), "false negative at {item}");
+        }
+    }
+}
+
+/// Bloom cardinality estimates stay within tolerance of the exact distinct
+/// count at sane fill levels.
+#[test]
+fn bloom_cardinality_within_tolerance() {
+    let mut rng = StdRng::seed_from_u64(34);
+    for case in 0..10 {
+        let n = rng.gen_range(500usize..8_000);
+        let mut bloom = BloomFilter::with_capacity(n, 10);
+        let mut distinct = HashSet::new();
+        for _ in 0..n {
+            let item = rng.gen_range(0u64..(n as u64 * 4));
+            bloom.insert(item);
+            distinct.insert(item);
+        }
+        let exact = distinct.len() as f64;
+        let est = bloom.estimate_cardinality();
+        assert!(
+            (est - exact).abs() < exact * 0.1 + 30.0,
+            "case {case}: estimated {est:.0} for {exact} distinct"
+        );
+    }
+}
+
+/// Bloom intersection estimates track the exact overlap within tolerance —
+/// and degrade gracefully toward zero for disjoint sets.
+#[test]
+fn bloom_intersection_within_tolerance() {
+    let mut rng = StdRng::seed_from_u64(35);
+    for case in 0..10 {
+        let n = rng.gen_range(1_000usize..4_000);
+        let overlap = rng.gen_range(0usize..n);
+        let mut a = BloomFilter::with_capacity(n, 10);
+        let mut b = BloomFilter::with_capacity(n, 10);
+        for i in 0..n as u64 {
+            a.insert(i);
+        }
+        let b_start = (n - overlap) as u64;
+        for i in b_start..b_start + n as u64 {
+            b.insert(i);
+        }
+        let est = a.estimate_intersection(&b);
+        assert!(
+            (est - overlap as f64).abs() < n as f64 * 0.12 + 30.0,
+            "case {case}: estimated {est:.0} for true overlap {overlap} (n={n})"
+        );
+    }
+}

@@ -21,6 +21,8 @@ pub mod math;
 pub mod zipf;
 
 pub use comm::{communication_overhead, expected_communication};
-pub use er::{giant_component_fraction, np_from_measured_pairs, np_value, regime, Regime, WindowScenario};
+pub use er::{
+    giant_component_fraction, np_from_measured_pairs, np_value, regime, Regime, WindowScenario,
+};
 pub use math::{choose, ln_choose, ln_gamma};
 pub use zipf::{expected_edges, tweet_size_pmf, zipf_pmf, PAPER_MMAX, PAPER_SKEW};

@@ -11,7 +11,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
@@ -23,7 +23,8 @@ pub fn ln_gamma(x: f64) -> f64 {
     ];
     if x < 0.5 {
         // reflection formula
-        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
             - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;

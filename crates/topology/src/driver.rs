@@ -8,10 +8,47 @@ use crate::operators::{
 };
 use crate::recorder::{RunRecorder, SharedRecorder};
 use crate::report::RunReport;
-use setcorr_core::{AlgorithmKind, DisseminatorConfig};
+use setcorr_approx::{ApproxCalculator, ApproxParams};
+use setcorr_core::{AlgorithmKind, Calculator, CorrelationBackend, DisseminatorConfig};
 use setcorr_engine::{run_sim, run_threaded, Bolt, Grouping, Spout, Topology, TopologyBuilder};
 use setcorr_model::{fx, Document, TimeDelta, WindowKind};
 use std::sync::Arc;
+
+/// Which correlation backend the Calculators run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Exact subset counting + inclusion–exclusion (§3.1).
+    Exact,
+    /// MinHash signatures + Count-Min heavy pairs (`setcorr-approx`):
+    /// bounded memory and `O(k)` estimates at bounded Jaccard error.
+    Approx(ApproxParams),
+}
+
+impl BackendKind {
+    /// Approximate backend with default tuning.
+    pub fn approx() -> Self {
+        BackendKind::Approx(ApproxParams::default())
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Exact => "exact",
+            BackendKind::Approx(_) => "approx",
+        }
+    }
+
+    fn build(&self, task: usize) -> Box<dyn CorrelationBackend> {
+        match *self {
+            BackendKind::Exact => Box::new(Calculator::new()),
+            BackendKind::Approx(params) => Box::new(ApproxCalculator::new(ApproxParams {
+                // decorrelate the hash families across Calculator tasks
+                seed: params.seed ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..params
+            })),
+        }
+    }
+}
 
 /// One experiment configuration (§8.1 parameter grid).
 #[derive(Debug, Clone)]
@@ -44,6 +81,8 @@ pub struct ExperimentConfig {
     /// §7.3 elastic scaling: target window documents per active Calculator
     /// (`None` disables; all `k` Calculators get partitions).
     pub elastic_docs_per_calc: Option<u64>,
+    /// Correlation backend the Calculators run (exact or approximate).
+    pub backend: BackendKind,
 }
 
 impl Default for ExperimentConfig {
@@ -62,6 +101,7 @@ impl Default for ExperimentConfig {
             sample_every: 1000,
             seed: 42,
             elastic_docs_per_calc: None,
+            backend: BackendKind::Exact,
         }
     }
 }
@@ -74,6 +114,12 @@ impl ExperimentConfig {
             algorithm,
             ..Default::default()
         }
+    }
+
+    /// This config with a different correlation backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -166,8 +212,9 @@ pub fn build_topology(
     };
     assert_eq!(disseminator, disseminator_id);
 
+    let backend = config.backend;
     let calculator = tb.add_bolt("calculator", config.k, move |task| {
-        Box::new(CalculatorBolt::new(task)) as Box<dyn Bolt<Msg>>
+        Box::new(CalculatorBolt::with_backend(task, backend.build(task))) as Box<dyn Bolt<Msg>>
     });
     assert_eq!(calculator, calculator_id);
 
@@ -232,7 +279,7 @@ pub fn run(
         }
     };
     let rec = recorder.lock();
-    RunReport::from_recorder(
+    let mut report = RunReport::from_recorder(
         config.algorithm.name(),
         config.k,
         config.partitioners,
@@ -240,7 +287,9 @@ pub fn run(
         config.tps,
         documents,
         &rec,
-    )
+    );
+    report.backend = config.backend.name().to_string();
+    report
 }
 
 /// Convenience: run over a vector of documents.

@@ -24,7 +24,7 @@ pub mod recorder;
 pub mod report;
 
 pub use connectivity::{connectivity, ConnectivitySummary};
-pub use driver::{build_topology, run, run_docs, ExperimentConfig, RunMode};
+pub use driver::{build_topology, run, run_docs, BackendKind, ExperimentConfig, RunMode};
 pub use messages::Msg;
 pub use recorder::{RunRecorder, SharedRecorder};
 pub use report::{RunReport, BASELINE_MIN_SIGHTINGS, WARMUP_ROUNDS};

@@ -3,7 +3,9 @@
 //! Storm tuples are named value lists; here they are one enum, with large
 //! payloads behind `Arc` so that `All`-grouping broadcasts stay cheap.
 
-use setcorr_core::{CalcId, CoefficientReport, PartitionSet, PartitionerOutput, QualityReference, RepartitionCause};
+use setcorr_core::{
+    CalcId, CoefficientReport, PartitionSet, PartitionerOutput, QualityReference, RepartitionCause,
+};
 use setcorr_model::{Document, TagSet, TagSetStat, Timestamp};
 use std::sync::Arc;
 

@@ -27,12 +27,14 @@
 use crate::messages::Msg;
 use crate::recorder::SharedRecorder;
 use setcorr_core::{
-    disjoint_sets, partition_setcover, AlgorithmKind, Calculator, Disseminator,
+    disjoint_sets, partition_setcover, AlgorithmKind, Calculator, CorrelationBackend, Disseminator,
     DisseminatorAction, DisseminatorConfig, Merger, PartitionInput, PartitionerOutput,
     SetCoverVariant, Tracker,
 };
 use setcorr_engine::{Bolt, ComponentId, Emitter};
-use setcorr_model::{FxHashMap, TagSet, TagSetStat, TagSetWindow, TimeDelta, Timestamp, WindowKind};
+use setcorr_model::{
+    FxHashMap, TagSet, TagSetStat, TagSetWindow, TimeDelta, Timestamp, WindowKind,
+};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -112,7 +114,13 @@ pub struct PartitionerBolt {
 impl PartitionerBolt {
     /// Partitioner task `task` with the given algorithm, target partition
     /// count, window extent and SCI seed.
-    pub fn new(task: usize, algorithm: AlgorithmKind, k: usize, window: WindowKind, seed: u64) -> Self {
+    pub fn new(
+        task: usize,
+        algorithm: AlgorithmKind,
+        k: usize,
+        window: WindowKind,
+        seed: u64,
+    ) -> Self {
         PartitionerBolt {
             task,
             algorithm,
@@ -172,6 +180,10 @@ impl Bolt<Msg> for PartitionerBolt {
 // Merger
 // ---------------------------------------------------------------------------
 
+/// One Partitioner's contribution to an epoch: its output and its window
+/// snapshot (for reference-quality evaluation).
+type PartitionerContribution = (Arc<PartitionerOutput>, Arc<Vec<TagSetStat>>);
+
 /// Combines `P` Partitioner outputs per epoch and answers Single Additions
 /// (§6.2, §7.1).
 pub struct MergerBolt {
@@ -181,7 +193,7 @@ pub struct MergerBolt {
     /// §7.3 elastic scaling: target window documents per active Calculator
     /// (`None` = always use all `k`).
     elastic_docs_per_calc: Option<u64>,
-    pending: FxHashMap<u64, Vec<(Arc<PartitionerOutput>, Arc<Vec<TagSetStat>>)>>,
+    pending: FxHashMap<u64, Vec<PartitionerContribution>>,
     merged_epochs: u64,
     recorder: SharedRecorder,
 }
@@ -428,7 +440,7 @@ impl Bolt<Msg> for DisseminatorBolt {
                 partitions,
                 reference,
             } => {
-                if self.installed_epoch.map_or(false, |cur| epoch < cur) {
+                if self.installed_epoch.is_some_and(|cur| epoch < cur) {
                     return; // stale
                 }
                 self.installed_epoch = Some(epoch);
@@ -450,20 +462,26 @@ impl Bolt<Msg> for DisseminatorBolt {
 // Calculator
 // ---------------------------------------------------------------------------
 
-/// Counts subsets of received notifications and reports Jaccard coefficients
-/// every round (§3.1, §6.2).
+/// Computes and reports Jaccard coefficients every round (§3.1, §6.2),
+/// through a pluggable [`CorrelationBackend`]: the exact subset-counting
+/// Calculator or the MinHash/Count-Min approximate backend.
 pub struct CalculatorBolt {
     id: usize,
-    calc: Calculator,
+    calc: Box<dyn CorrelationBackend>,
     round: u64,
 }
 
 impl CalculatorBolt {
-    /// Calculator task `id`.
+    /// Calculator task `id` with the exact backend.
     pub fn new(id: usize) -> Self {
+        Self::with_backend(id, Box::new(Calculator::new()))
+    }
+
+    /// Calculator task `id` running an arbitrary correlation backend.
+    pub fn with_backend(id: usize, backend: Box<dyn CorrelationBackend>) -> Self {
         CalculatorBolt {
             id,
-            calc: Calculator::new(),
+            calc: backend,
             round: 0,
         }
     }
@@ -684,11 +702,7 @@ mod tests {
             })
             .collect();
         assert_eq!(ticks, vec![0, 1]);
-        let tagsets = cap
-            .emitted
-            .iter()
-            .filter(|(s, _)| *s == "tagsets")
-            .count();
+        let tagsets = cap.emitted.iter().filter(|(s, _)| *s == "tagsets").count();
         assert_eq!(tagsets, 1);
         parser.on_flush(&mut cap);
         let ticks = cap
@@ -701,13 +715,7 @@ mod tests {
 
     #[test]
     fn partitioner_answers_repartition_requests() {
-        let mut p = PartitionerBolt::new(
-            0,
-            AlgorithmKind::Ds,
-            2,
-            WindowKind::Count(100),
-            7,
-        );
+        let mut p = PartitionerBolt::new(0, AlgorithmKind::Ds, 2, WindowKind::Count(100), 7);
         let mut cap = Capture::default();
         p.on_message(
             Msg::TagSet {
@@ -725,7 +733,15 @@ mod tests {
         );
         assert_eq!(cap.emitted.len(), 1);
         match &cap.emitted[0] {
-            ("parts", Msg::PartitionerParts { epoch, output, snapshot, .. }) => {
+            (
+                "parts",
+                Msg::PartitionerParts {
+                    epoch,
+                    output,
+                    snapshot,
+                    ..
+                },
+            ) => {
                 assert_eq!(*epoch, 3);
                 assert_eq!(snapshot.len(), 1);
                 match &**output {
@@ -881,12 +897,30 @@ mod tests {
         let mut cap = Capture::default();
         // {1,2} seen 4 times; singleton {9} skipped (no Jaccard for 1 tag)
         for _ in 0..4 {
-            b.on_message(Msg::TagSet { time: Timestamp(0), tags: ts(&[1, 2]) }, &mut cap);
+            b.on_message(
+                Msg::TagSet {
+                    time: Timestamp(0),
+                    tags: ts(&[1, 2]),
+                },
+                &mut cap,
+            );
         }
         for _ in 0..9 {
-            b.on_message(Msg::TagSet { time: Timestamp(0), tags: ts(&[9]) }, &mut cap);
+            b.on_message(
+                Msg::TagSet {
+                    time: Timestamp(0),
+                    tags: ts(&[9]),
+                },
+                &mut cap,
+            );
         }
-        b.on_message(Msg::Tick { round: 0, time: Timestamp(10) }, &mut cap);
+        b.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(10),
+            },
+            &mut cap,
+        );
         {
             let rec = recorder.lock();
             let round = rec.baseline_rounds.get(&0).unwrap();
@@ -896,8 +930,20 @@ mod tests {
             assert_eq!(round[0].jaccard, 1.0);
         }
         // round state cleared, run occurrences persist until flush
-        b.on_message(Msg::TagSet { time: Timestamp(11), tags: ts(&[1, 2]) }, &mut cap);
-        b.on_message(Msg::Tick { round: 1, time: Timestamp(20) }, &mut cap);
+        b.on_message(
+            Msg::TagSet {
+                time: Timestamp(11),
+                tags: ts(&[1, 2]),
+            },
+            &mut cap,
+        );
+        b.on_message(
+            Msg::Tick {
+                round: 1,
+                time: Timestamp(20),
+            },
+            &mut cap,
+        );
         assert_eq!(
             recorder.lock().baseline_rounds.get(&1).unwrap()[0].counter,
             1

@@ -1,17 +1,19 @@
 //! Post-run aggregation: one [`RunReport`] per experiment configuration.
 
 use crate::recorder::RunRecorder;
-use serde::Serialize;
 use setcorr_metrics::{gini, Chart, ErrorStats, Series};
 use setcorr_model::FxHashMap;
 use setcorr_model::TagSet;
 
 /// Everything a figure needs from one run, serialisable to JSON for
-/// EXPERIMENTS.md bookkeeping.
-#[derive(Debug, Clone, Serialize)]
+/// EXPERIMENTS.md bookkeeping (via [`RunReport::to_json`]; the build
+/// environment has no serde, so serialisation is hand-rolled).
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Algorithm name (DS/SCC/SCL/SCI).
     pub algorithm: String,
+    /// Correlation backend the Calculators ran ("exact" or "approx").
+    pub backend: String,
     /// Number of partitions / Calculators.
     pub k: usize,
     /// Number of Partitioners `P`.
@@ -52,17 +54,14 @@ pub struct RunReport {
     /// Tagged tagsets that could not be routed (bootstrap / unknown tags).
     pub unrouted_tagsets: u64,
     /// Communication-over-time samples (Fig. 8), skipped in JSON.
-    #[serde(skip)]
     pub comm_series: Series,
     /// Per-Calculator load-over-time samples (Fig. 9), skipped in JSON.
-    #[serde(skip)]
     pub load_chart: Chart,
     /// Repartition markers `(x, cause)` for the over-time plots.
     pub repartition_marks: Vec<(u64, String)>,
     /// Deduplicated coefficients per report round (round id ascending),
     /// skipped in JSON — the downstream-analytics feed (§6.2's Tracker
     /// output; what enBlogue-style trend detection consumes).
-    #[serde(skip)]
     pub tracked_rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)>,
 }
 
@@ -95,6 +94,7 @@ impl RunReport {
         let error = accuracy(recorder);
         RunReport {
             algorithm: algorithm.to_string(),
+            backend: "exact".to_string(),
             k,
             partitioners,
             thr,
@@ -137,6 +137,130 @@ impl RunReport {
     pub fn repartitions_total(&self) -> u64 {
         self.repartitions_communication + self.repartitions_both + self.repartitions_load
     }
+
+    /// Serialise the scalar fields to one JSON object (the over-time series
+    /// and per-round coefficient feeds are deliberately skipped, as the
+    /// former serde annotation did).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        json_str(&mut out, "algorithm", &self.algorithm);
+        out.push(',');
+        json_str(&mut out, "backend", &self.backend);
+        out.push(',');
+        json_u64(&mut out, "k", self.k as u64);
+        out.push(',');
+        json_u64(&mut out, "partitioners", self.partitioners as u64);
+        out.push(',');
+        json_f64(&mut out, "thr", self.thr);
+        out.push(',');
+        json_u64(&mut out, "tps", self.tps);
+        out.push(',');
+        json_u64(&mut out, "documents", self.documents);
+        out.push(',');
+        json_f64(&mut out, "avg_communication", self.avg_communication);
+        out.push(',');
+        out.push_str("\"load_shares\":[");
+        for (i, &s) in self.load_shares.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_f64(&mut out, s);
+        }
+        out.push(']');
+        out.push(',');
+        json_f64(&mut out, "load_gini", self.load_gini);
+        out.push(',');
+        json_f64(&mut out, "max_load_share", self.max_load_share);
+        out.push(',');
+        json_u64(
+            &mut out,
+            "repartitions_communication",
+            self.repartitions_communication,
+        );
+        out.push(',');
+        json_u64(&mut out, "repartitions_both", self.repartitions_both);
+        out.push(',');
+        json_u64(&mut out, "repartitions_load", self.repartitions_load);
+        out.push(',');
+        json_u64(&mut out, "single_additions", self.single_additions);
+        out.push(',');
+        json_u64(&mut out, "merges", self.merges);
+        out.push(',');
+        json_f64(&mut out, "coverage", self.coverage);
+        out.push(',');
+        json_f64(&mut out, "mean_abs_error", self.mean_abs_error);
+        out.push(',');
+        json_u64(&mut out, "compared_tagsets", self.compared_tagsets);
+        out.push(',');
+        json_u64(&mut out, "routed_tagsets", self.routed_tagsets);
+        out.push(',');
+        json_u64(&mut out, "unrouted_tagsets", self.unrouted_tagsets);
+        out.push(',');
+        out.push_str("\"repartition_marks\":[");
+        for (i, (x, cause)) in self.repartition_marks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&x.to_string());
+            out.push(',');
+            push_json_string(&mut out, cause);
+            out.push(']');
+        }
+        out.push(']');
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let formatted = format!("{v}");
+        let integral = !formatted.contains('.');
+        out.push_str(&formatted);
+        if integral {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    push_json_string(out, key);
+    out.push(':');
+    push_json_string(out, value);
+}
+
+fn json_u64(out: &mut String, key: &str, value: u64) {
+    push_json_string(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
+
+fn json_f64(out: &mut String, key: &str, value: f64) {
+    push_json_string(out, key);
+    out.push(':');
+    push_f64(out, value);
 }
 
 /// Compare tracked rounds against the exact baseline (Fig. 5 / §8.2.3).
@@ -157,7 +281,7 @@ fn accuracy(recorder: &RunRecorder) -> ErrorStats {
         recorder
             .baseline_occurrences
             .get(tags)
-            .map_or(false, |&n| n > BASELINE_MIN_SIGHTINGS)
+            .is_some_and(|&n| n > BASELINE_MIN_SIGHTINGS)
     };
     // Per-(round, tagset) error over co-reported pairs.
     let mut covered: FxHashMap<&TagSet, bool> = FxHashMap::default();
@@ -270,9 +394,12 @@ mod tests {
     fn report_serialises_to_json() {
         let rec = RunRecorder::new(2);
         let report = RunReport::from_recorder("SCC", 2, 3, 0.2, 2600, 10, &rec);
-        let json = serde_json::to_string(&report).unwrap();
+        let json = report.to_json();
         assert!(json.contains("\"algorithm\":\"SCC\""));
+        assert!(json.contains("\"backend\":\"exact\""));
         assert!(json.contains("\"tps\":2600"));
+        assert!(json.contains("\"thr\":0.2"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
     #[test]

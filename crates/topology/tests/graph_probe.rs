@@ -13,11 +13,17 @@ fn probe_components() {
     for n in [1000usize, 3000, 6000, 12000] {
         let stats: Vec<TagSetStat> = docs[..n]
             .iter()
-            .map(|d| TagSetStat { tags: d.tags.clone(), count: 1 })
+            .map(|d| TagSetStat {
+                tags: d.tags.clone(),
+                count: 1,
+            })
             .collect();
         let input = PartitionInput::from_stats(stats);
         let comps = connected_components(&input);
-        let top: Vec<String> = comps.components.iter().take(5)
+        let top: Vec<String> = comps
+            .components
+            .iter()
+            .take(5)
             .map(|c| format!("(tags {} docs {})", c.tags.len(), c.docs))
             .collect();
         println!(

@@ -13,7 +13,10 @@ fn probe_monitor_drift() {
     println!("tagged docs: {}", docs.len());
     let boot: Vec<TagSetStat> = docs[..3000]
         .iter()
-        .map(|d| TagSetStat { tags: d.tags.clone(), count: 1 })
+        .map(|d| TagSetStat {
+            tags: d.tags.clone(),
+            count: 1,
+        })
         .collect();
     let input = PartitionInput::from_stats(boot);
     for kind in AlgorithmKind::ALL {
@@ -23,18 +26,35 @@ fn probe_monitor_drift() {
             "{kind}: ref avgCom={:.3} maxLoad={:.3} gini={:.3} uncovered={}",
             q.avg_communication, q.max_load_share, q.load_gini, q.uncovered_tagsets
         );
-        let mut d = Disseminator::new(5, DisseminatorConfig { sn: 3, z: 1000, thr: 0.5 });
-        d.install_partitions(&parts, QualityReference { avg_com: q.avg_communication, max_load: q.max_load_share });
+        let mut d = Disseminator::new(
+            5,
+            DisseminatorConfig {
+                sn: 3,
+                z: 1000,
+                thr: 0.5,
+            },
+        );
+        d.install_partitions(
+            &parts,
+            QualityReference {
+                avg_com: q.avg_communication,
+                max_load: q.max_load_share,
+            },
+        );
         // manual batch stats
         let (mut notifs, mut routed) = (0u64, 0u64);
         let mut per_calc = [0u64; 5];
         let mut batch = 0;
         for doc in &docs[3000..] {
             let r = d.route(&doc.tags);
-            if r.notifications.is_empty() { continue; }
+            if r.notifications.is_empty() {
+                continue;
+            }
             notifs += r.notifications.len() as u64;
             routed += 1;
-            for (c, _) in &r.notifications { per_calc[*c] += 1; }
+            for (c, _) in &r.notifications {
+                per_calc[*c] += 1;
+            }
             for a in &r.actions {
                 if let DisseminatorAction::RequestRepartition(cause) = a {
                     println!("  !! repartition triggered: {cause}");
@@ -47,7 +67,9 @@ fn probe_monitor_drift() {
                 if batch <= 8 || batch % 10 == 0 {
                     println!("  batch {batch}: avgCom'={avg:.3} maxLoad'={maxl:.3}");
                 }
-                notifs = 0; routed = 0; per_calc = [0; 5];
+                notifs = 0;
+                routed = 0;
+                per_calc = [0; 5];
             }
         }
     }

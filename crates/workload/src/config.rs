@@ -148,8 +148,7 @@ impl WorkloadConfig {
         );
         assert!(self.burst_len >= 1, "burst_len must be positive");
         assert!(
-            (0.0..=1.0).contains(&self.phrase_prob)
-                && (0.0..=1.0).contains(&self.fresh_tag_prob),
+            (0.0..=1.0).contains(&self.phrase_prob) && (0.0..=1.0).contains(&self.fresh_tag_prob),
             "phrase/fresh probabilities must be in [0,1]"
         );
     }
@@ -172,8 +171,10 @@ mod tests {
 
     #[test]
     fn spacing_matches_tps() {
-        let mut c = WorkloadConfig::default();
-        c.tps = 1300;
+        let mut c = WorkloadConfig {
+            tps: 1300,
+            ..Default::default()
+        };
         assert!((c.millis_per_doc() - 0.769230).abs() < 1e-3);
         c.tps = 2600;
         assert!((c.millis_per_doc() - 0.384615).abs() < 1e-3);
@@ -182,16 +183,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha")]
     fn rejects_bad_alpha() {
-        let mut c = WorkloadConfig::default();
-        c.alpha = 1.5;
+        let c = WorkloadConfig {
+            alpha: 1.5,
+            ..Default::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "cap")]
     fn rejects_huge_mmax() {
-        let mut c = WorkloadConfig::default();
-        c.mmax = 99;
+        let c = WorkloadConfig {
+            mmax: 99,
+            ..Default::default()
+        };
         c.validate();
     }
 }

@@ -132,8 +132,7 @@ mod tests {
                 .iter()
                 .map(|t| generator.interner().name(t))
                 .collect();
-            let back_names: Vec<&str> =
-                back.tags.iter().map(|t| rd.interner().name(t)).collect();
+            let back_names: Vec<&str> = back.tags.iter().map(|t| rd.interner().name(t)).collect();
             let mut a = orig_names.clone();
             let mut b = back_names.clone();
             a.sort_unstable();

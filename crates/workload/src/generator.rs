@@ -110,7 +110,7 @@ impl Generator {
     fn maybe_drift(&mut self) {
         if self.next_id > 0 {
             if let Some(every) = self.config.new_topic_every {
-                if self.next_id % every == 0 {
+                if self.next_id.is_multiple_of(every) {
                     // Retire the least popular live topic and insert the
                     // newborn at a hot popularity rank so fresh tags get
                     // real traffic.
@@ -129,7 +129,7 @@ impl Generator {
                 }
             }
             if let Some(every) = self.config.trend_every {
-                if self.next_id % every == 0 && self.topics.len() > 2 {
+                if self.next_id.is_multiple_of(every) && self.topics.len() > 2 {
                     // Trending: a cold topic from the lower half of the
                     // popularity ranking shoots to rank 0.
                     let lower_half = self.topics.len() / 2..self.topics.len();
@@ -429,7 +429,10 @@ mod tests {
                     name.split('_').next().unwrap_or("").to_string()
                 })
                 .collect();
-            assert!(prefixes.len() <= 1, "cross-topic doc without mixing: {prefixes:?}");
+            assert!(
+                prefixes.len() <= 1,
+                "cross-topic doc without mixing: {prefixes:?}"
+            );
         }
     }
 

@@ -99,12 +99,12 @@ mod tests {
         let z = ZipfSampler::new(6, 0.25);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 200_000;
-        let mut counts = vec![0u64; 6];
+        let mut counts = [0u64; 6];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..6 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(r)).abs() < 0.01,
                 "rank {r}: {emp} vs {}",

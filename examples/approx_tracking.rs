@@ -1,0 +1,114 @@
+//! Top-k emerging-pair detection with the approximate backend.
+//!
+//! Streams the synthetic Twitter-like workload through one
+//! [`ApproxCalculator`] in report rounds, printing the heaviest co-occurring
+//! tag pairs of each round and — from the second round on — which of them
+//! are *emerging*: brand new or sharply grown versus the previous round.
+//! This is the enBlogue-style use the paper motivates, at `O(tags × k)`
+//! memory instead of one counter per observed subset.
+//!
+//! Run with: `cargo run --release --example approx_tracking`
+
+use setcorr::prelude::*;
+
+fn main() {
+    let rounds = 6usize;
+    let docs_per_round = 20_000usize;
+
+    let mut config = WorkloadConfig::with_seed(77);
+    // drift + bursts make pairs actually emerge
+    config.new_topic_every = Some(4_000);
+    config.burst_every = Some(500);
+    let mut generator = Generator::new(config);
+
+    let mut approx = ApproxCalculator::new(ApproxParams {
+        top_k: 64,
+        ..ApproxParams::default()
+    });
+    let mut exact_check = Calculator::new();
+
+    println!(
+        "approximate backend: {} hashes, top-{} pairs\n",
+        approx.params().hashes,
+        approx.params().top_k
+    );
+
+    for round in 0..rounds {
+        let mut tagged = 0u64;
+        for _ in 0..docs_per_round {
+            let Some(doc) = generator.next() else { break };
+            if !doc.is_tagged() {
+                continue;
+            }
+            tagged += 1;
+            CorrelationBackend::observe(&mut approx, &doc.tags);
+            CorrelationBackend::observe(&mut exact_check, &doc.tags);
+        }
+
+        // compare the five heaviest estimates against exact values before
+        // the round closes
+        let mut spot_checks: Vec<(TagSet, f64, Option<f64>)> = approx
+            .heavy()
+            .top()
+            .into_iter()
+            .take(5)
+            .filter_map(|pair| {
+                let ts = pair.tagset();
+                let est = CorrelationBackend::jaccard(&approx, &ts)?;
+                Some((
+                    ts.clone(),
+                    est,
+                    CorrelationBackend::jaccard(&exact_check, &ts),
+                ))
+            })
+            .collect();
+        spot_checks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+        let reports = CorrelationBackend::report_and_reset(&mut approx);
+        CorrelationBackend::report_and_reset(&mut exact_check);
+
+        println!(
+            "── round {round}: {tagged} tagged docs, {} heavy pairs reported",
+            reports.len()
+        );
+        for (ts, est, exact) in &spot_checks {
+            let names: Vec<&str> = ts.iter().map(|t| generator.interner().name(t)).collect();
+            match exact {
+                Some(truth) => println!(
+                    "   J̃({}) = {est:.3}   (exact {truth:.3}, |Δ| = {:.3})",
+                    names.join(", "),
+                    (est - truth).abs()
+                ),
+                None => println!(
+                    "   J̃({}) = {est:.3}   (exact: not co-occurring)",
+                    names.join(", ")
+                ),
+            }
+        }
+        let emerging: Vec<_> = approx
+            .emerging()
+            .iter()
+            .filter(|e| e.previous == 0 || e.growth >= 2.0)
+            .take(5)
+            .cloned()
+            .collect();
+        if round > 0 && !emerging.is_empty() {
+            println!("   emerging:");
+            for e in &emerging {
+                let ts = e.pair.tagset();
+                let names: Vec<&str> = ts.iter().map(|t| generator.interner().name(t)).collect();
+                let provenance = if e.previous == 0 {
+                    "new this round".to_string()
+                } else {
+                    format!("{:.1}x over previous round", e.growth)
+                };
+                println!(
+                    "     {{{}}}  ~{} co-occurrences  ({provenance})",
+                    names.join(", "),
+                    e.pair.count
+                );
+            }
+        }
+        println!();
+    }
+}

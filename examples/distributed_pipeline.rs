@@ -52,7 +52,10 @@ fn main() {
     for share in &report.load_shares {
         print!(" {:.3}", share);
     }
-    println!("\nload gini: {:.3} (SCL keeps this near zero)", report.load_gini);
+    println!(
+        "\nload gini: {:.3} (SCL keeps this near zero)",
+        report.load_gini
+    );
     println!(
         "repartitions: {} ({} communication / {} both / {} load)",
         report.repartitions_total(),

@@ -6,9 +6,9 @@
 //! ```
 
 use setcorr::core::{connected_components, partition, AlgorithmKind, PartitionInput};
+use setcorr::model::TagSetStat;
 use setcorr::prelude::*;
 use setcorr::theory::expected_communication;
-use setcorr::model::TagSetStat;
 
 fn main() {
     // One partition window: ~20 seconds of tweets at 1300/s.

@@ -76,6 +76,11 @@ fn main() {
             .iter()
             .map(|t| generator.interner().try_name(t).unwrap_or("?"))
             .collect();
-        println!("{:>32} {:>9.3} {:>7}", names.join(","), c.jaccard, c.counter);
+        println!(
+            "{:>32} {:>9.3} {:>7}",
+            names.join(","),
+            c.jaccard,
+            c.counter
+        );
     }
 }

@@ -10,6 +10,9 @@
 //! * [`model`] — tags, tagsets, documents, event time, sliding windows,
 //! * [`core`] — the partitioning algorithms (DS / SCC / SCL / SCI) and the
 //!   operator state machines (Calculator, Disseminator, Merger, Tracker),
+//! * [`approx`] — the approximate correlation backend (MinHash signatures +
+//!   Count-Min heavy-pair detection), pluggable behind
+//!   [`core::CorrelationBackend`],
 //! * [`engine`] — the Storm-like stream-processing substrate,
 //! * [`topology`] — the full Figure 2 application and experiment driver,
 //! * [`workload`] — the synthetic Twitter-like stream generator,
@@ -34,6 +37,7 @@
 //! assert_eq!(report.k, 10);
 //! ```
 
+pub use setcorr_approx as approx;
 pub use setcorr_core as core;
 pub use setcorr_engine as engine;
 pub use setcorr_metrics as metrics;
@@ -45,10 +49,14 @@ pub use setcorr_workload as workload;
 
 /// The names most programs need.
 pub mod prelude {
+    pub use setcorr_approx::{
+        ApproxCalculator, ApproxParams, EmergingPair, HeavyPair, HeavyPairs, MinHashSignature,
+        SignatureStore,
+    };
     pub use setcorr_core::{
         best_partition_for_addition, partition, AlgorithmKind, Calculator, CoefficientReport,
-        Disseminator, DisseminatorConfig, Merger, PartitionInput, PartitionSet, QualityReference,
-        RepartitionCause, TrackedCoefficient, Tracker,
+        CorrelationBackend, Disseminator, DisseminatorConfig, Merger, PartitionInput, PartitionSet,
+        QualityReference, RepartitionCause, TrackedCoefficient, Tracker,
     };
     pub use setcorr_metrics::{gini, ErrorStats, Running};
     pub use setcorr_model::{
@@ -57,7 +65,8 @@ pub mod prelude {
     };
     pub use setcorr_theory::{expected_communication, WindowScenario};
     pub use setcorr_topology::{
-        connectivity, run, run_docs, ConnectivitySummary, ExperimentConfig, RunMode, RunReport,
+        connectivity, run, run_docs, BackendKind, ConnectivitySummary, ExperimentConfig, RunMode,
+        RunReport,
     };
     pub use setcorr_workload::{Generator, WorkloadConfig};
 }

@@ -1,0 +1,125 @@
+//! Acceptance tests of the approximate correlation backend: MinHash Jaccard
+//! estimates against exact values on a synthetic stream, and the approx
+//! backend running inside the full distributed topology.
+
+use setcorr::approx::{exact_vs_approx, ApproxCalculator, ApproxParams};
+use setcorr::core::{Calculator, CorrelationBackend};
+use setcorr::model::TagSet;
+use setcorr::prelude::*;
+
+fn tagged_stream(seed: u64, n: usize) -> Vec<TagSet> {
+    Generator::new(WorkloadConfig::with_seed(seed))
+        .take(n)
+        .filter(|d| d.is_tagged())
+        .map(|d| d.tags)
+        .collect()
+}
+
+/// The ISSUE acceptance criterion: at k = 256 hashes, MinHash Jaccard
+/// estimates stay within ±0.05 of the exact values on a 20k-document
+/// synthetic stream (measured over every pair the exact Calculator tracked
+/// with enough support for the estimate to be meaningful).
+#[test]
+fn minhash_jaccard_within_band_on_synthetic_stream() {
+    let stream = tagged_stream(42, 20_000);
+    assert!(stream.len() > 5_000, "stream should be mostly tagged");
+
+    let params = ApproxParams::with_hashes(256);
+    let mut exact = Calculator::new();
+    let mut approx = ApproxCalculator::new(params);
+    for tags in &stream {
+        CorrelationBackend::observe(&mut exact, tags);
+        approx.observe(tags);
+    }
+
+    let mut compared = 0u64;
+    let mut within_band = 0u64;
+    let mut sum_abs = 0.0;
+    let mut max_abs: f64 = 0.0;
+    for report in exact.report_and_reset() {
+        // pairs with ≥ 5 sightings: below that, one document flips the
+        // exact coefficient itself by more than the error band
+        if report.tags.len() != 2 || report.counter < 5 {
+            continue;
+        }
+        let est = approx
+            .jaccard(&report.tags)
+            .expect("co-occurring pair must have an estimate");
+        let err = (est - report.jaccard).abs();
+        compared += 1;
+        sum_abs += err;
+        max_abs = max_abs.max(err);
+        if err <= 0.05 {
+            within_band += 1;
+        }
+    }
+    assert!(compared > 100, "only {compared} pairs compared");
+    let mean_abs = sum_abs / compared as f64;
+    assert!(
+        mean_abs <= 0.05,
+        "mean |est - exact| = {mean_abs:.4} over {compared} pairs"
+    );
+    // k = 256 → σ ≤ 0.031; ±0.05 ≈ 1.6σ, so a small tail may exceed it,
+    // but the bulk of estimates must sit inside the band…
+    let share = within_band as f64 / compared as f64;
+    assert!(
+        share >= 0.85,
+        "only {:.1}% of {compared} pairs within ±0.05 (mean {mean_abs:.4})",
+        share * 100.0
+    );
+    // …and nothing may stray beyond a handful of standard errors
+    assert!(max_abs <= 0.2, "worst pair error {max_abs:.4}");
+}
+
+/// The same comparison through the ErrorStats plumbing the run reports use.
+#[test]
+fn error_stats_wiring_reports_the_comparison() {
+    let stream = tagged_stream(7, 20_000);
+    let stats = exact_vs_approx(&stream, ApproxParams::with_hashes(256), 5);
+    assert!(stats.baseline_tagsets() > 100);
+    assert!(
+        stats.coverage() > 0.99,
+        "co-occurring pairs must be covered (got {:.3})",
+        stats.coverage()
+    );
+    assert!(
+        stats.mean_abs_error() <= 0.05,
+        "mean abs error {:.4}",
+        stats.mean_abs_error()
+    );
+}
+
+/// The approximate backend is selectable from `ExperimentConfig` and runs
+/// the full Figure 2 topology end to end, producing tracked coefficients
+/// whose accuracy against the exact centralized baseline stays bounded.
+#[test]
+fn approx_backend_runs_the_full_topology() {
+    let docs: Vec<Document> = Generator::new(WorkloadConfig::with_seed(11))
+        .take(30_000)
+        .collect();
+    let config =
+        ExperimentConfig::for_algorithm(AlgorithmKind::Ds).with_backend(BackendKind::approx());
+    let report = run_docs(&config, docs, RunMode::Sim);
+    assert_eq!(report.backend, "approx");
+    assert!(report.routed_tagsets > 0, "stream must route");
+    let tracked: usize = report
+        .tracked_rounds
+        .iter()
+        .map(|(_, coeffs)| coeffs.len())
+        .sum();
+    assert!(tracked > 0, "approx backend must report coefficients");
+    assert!(
+        report.to_json().contains("\"backend\":\"approx\""),
+        "backend choice must surface in the report JSON"
+    );
+    // the distributed/approx pipeline is compared against the exact
+    // centralized baseline; top-k truncation costs coverage, but what is
+    // reported must be accurate
+    if report.compared_tagsets > 0 {
+        assert!(
+            report.mean_abs_error < 0.1,
+            "approx pipeline error {:.4}",
+            report.mean_abs_error
+        );
+    }
+}

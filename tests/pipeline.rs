@@ -4,7 +4,9 @@
 use setcorr::prelude::*;
 
 fn stream(seed: u64, n: usize) -> Vec<Document> {
-    Generator::new(WorkloadConfig::with_seed(seed)).take(n).collect()
+    Generator::new(WorkloadConfig::with_seed(seed))
+        .take(n)
+        .collect()
 }
 
 fn small_config(algorithm: AlgorithmKind) -> ExperimentConfig {
@@ -27,7 +29,10 @@ fn pipeline_runs_end_to_end_for_every_algorithm() {
     for algorithm in AlgorithmKind::ALL {
         let report = run_docs(&small_config(algorithm), docs.clone(), RunMode::Sim);
         assert_eq!(report.documents, 40_000, "{algorithm}");
-        assert!(report.merges >= 1, "{algorithm}: no partitions were installed");
+        assert!(
+            report.merges >= 1,
+            "{algorithm}: no partitions were installed"
+        );
         assert!(
             report.routed_tagsets > 0,
             "{algorithm}: nothing was ever routed"
@@ -137,7 +142,11 @@ fn single_additions_happen_under_drift() {
 #[test]
 fn sim_runs_are_deterministic() {
     let docs = stream(6, 30_000);
-    let a = run_docs(&small_config(AlgorithmKind::Scc), docs.clone(), RunMode::Sim);
+    let a = run_docs(
+        &small_config(AlgorithmKind::Scc),
+        docs.clone(),
+        RunMode::Sim,
+    );
     let b = run_docs(&small_config(AlgorithmKind::Scc), docs, RunMode::Sim);
     assert_eq!(a.avg_communication, b.avg_communication);
     assert_eq!(a.load_shares, b.load_shares);

@@ -1,7 +1,11 @@
-//! Property-based invariant tests across the workspace (proptest).
+//! Randomised invariant tests across the workspace.
+//!
+//! Formerly written against proptest; the offline build has no registry
+//! access, so each property is now exercised over a few hundred seeded
+//! random cases (deterministic per run — failures reproduce immediately).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use setcorr::core::{
     connected_components, partition, AlgorithmKind, Calculator, PartitionInput, UnionFind,
 };
@@ -9,9 +13,27 @@ use setcorr::metrics::{gini, lorenz_curve};
 use setcorr::model::{TagSet, TagSetStat, TagSetWindow, Timestamp};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-/// Strategy: a window of small random tagsets with counts.
-fn tagset_window() -> impl Strategy<Value = Vec<(Vec<u32>, u64)>> {
-    vec((vec(0u32..40, 1..6), 1u64..20), 1..60)
+/// A window of small random tagsets with counts (mirrors the old
+/// `tagset_window()` proptest strategy).
+fn random_specs(rng: &mut StdRng) -> Vec<(Vec<u32>, u64)> {
+    let n = rng.gen_range(1usize..60);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1usize..6);
+            let ids: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..40)).collect();
+            (ids, rng.gen_range(1u64..20))
+        })
+        .collect()
+}
+
+fn random_docs(rng: &mut StdRng, max_tag: u32, max_docs: usize) -> Vec<Vec<u32>> {
+    let n = rng.gen_range(1usize..max_docs);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1usize..5);
+            (0..len).map(|_| rng.gen_range(0u32..max_tag)).collect()
+        })
+        .collect()
 }
 
 fn build_input(specs: &[(Vec<u32>, u64)]) -> PartitionInput {
@@ -26,68 +48,83 @@ fn build_input(specs: &[(Vec<u32>, u64)]) -> PartitionInput {
     )
 }
 
-proptest! {
-    /// §1.1 requirement 1: every algorithm must cover every input tagset.
-    #[test]
-    fn all_algorithms_cover_every_tagset(
-        specs in tagset_window(),
-        k in 1usize..8,
-        seed in any::<u64>(),
-    ) {
+/// §1.1 requirement 1: every algorithm must cover every input tagset.
+#[test]
+fn all_algorithms_cover_every_tagset() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..60 {
+        let specs = random_specs(&mut rng);
         let input = build_input(&specs);
+        let k = rng.gen_range(1usize..8);
+        let seed: u64 = rng.gen();
         for algorithm in AlgorithmKind::ALL {
             let parts = partition(algorithm, &input, k, seed);
-            prop_assert_eq!(parts.k(), k);
+            assert_eq!(parts.k(), k);
             for stat in &input.stats {
-                prop_assert!(
+                assert!(
                     parts.covers(&stat.tags),
-                    "{} k={} left {:?} uncovered", algorithm, k, stat.tags
+                    "case {case}: {algorithm} k={k} left {:?} uncovered",
+                    stat.tags
                 );
             }
         }
     }
+}
 
-    /// DS never replicates a tag (its defining structural property).
-    #[test]
-    fn ds_is_replication_free(specs in tagset_window(), k in 1usize..8) {
+/// DS never replicates a tag (its defining structural property).
+#[test]
+fn ds_is_replication_free() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for case in 0..100 {
+        let specs = random_specs(&mut rng);
         let input = build_input(&specs);
+        let k = rng.gen_range(1usize..8);
         let parts = partition(AlgorithmKind::Ds, &input, k, 0);
         let mut seen = HashSet::new();
         for p in &parts.parts {
             for &t in &p.tags {
-                prop_assert!(seen.insert(t), "tag {t} in two DS partitions");
+                assert!(seen.insert(t), "case {case}: tag {t} in two DS partitions");
             }
         }
-        prop_assert!((parts.replication_factor() - 1.0).abs() < 1e-12);
+        assert!((parts.replication_factor() - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Partition loads are conserved by the set-cover algorithms: the sum of
-    /// partition bookkeeping loads equals the sum of tagset loads.
-    #[test]
-    fn setcover_load_bookkeeping_is_conserved(specs in tagset_window(), k in 1usize..6) {
+/// Partition loads are conserved by the set-cover algorithms: the sum of
+/// partition bookkeeping loads equals the sum of tagset loads.
+#[test]
+fn setcover_load_bookkeeping_is_conserved() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for case in 0..60 {
+        let specs = random_specs(&mut rng);
         let input = build_input(&specs);
+        let k = rng.gen_range(1usize..6);
         let expected: u64 = input.loads.iter().sum();
         for algorithm in [AlgorithmKind::Scc, AlgorithmKind::Scl, AlgorithmKind::Sci] {
             let parts = partition(algorithm, &input, k, 1);
             let got: u64 = parts.parts.iter().map(|p| p.load).sum();
-            prop_assert_eq!(got, expected, "{}", algorithm);
+            assert_eq!(got, expected, "case {case}: {algorithm}");
         }
     }
+}
 
-    /// The tagset-graph components partition both the tags and the documents.
-    #[test]
-    fn components_partition_tags_and_docs(specs in tagset_window()) {
+/// The tagset-graph components partition both the tags and the documents.
+#[test]
+fn components_partition_tags_and_docs() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for case in 0..100 {
+        let specs = random_specs(&mut rng);
         let input = build_input(&specs);
         let comps = connected_components(&input);
         let total_docs: u64 = comps.components.iter().map(|c| c.docs).sum();
-        prop_assert_eq!(total_docs, input.total_docs);
+        assert_eq!(total_docs, input.total_docs, "case {case}");
         let mut tags = HashSet::new();
         for c in &comps.components {
             for &t in &c.tags {
-                prop_assert!(tags.insert(t), "tag in two components");
+                assert!(tags.insert(t), "case {case}: tag in two components");
             }
         }
-        prop_assert_eq!(tags.len(), input.distinct_tags());
+        assert_eq!(tags.len(), input.distinct_tags());
         // every tagset's tags land in exactly one component
         for stat in &input.stats {
             let owners = comps
@@ -95,13 +132,20 @@ proptest! {
                 .iter()
                 .filter(|c| stat.tags.iter().any(|t| c.tags.contains(&t)))
                 .count();
-            prop_assert_eq!(owners, 1);
+            assert_eq!(owners, 1, "case {case}");
         }
     }
+}
 
-    /// Union-find agrees with a naive label-propagation reference.
-    #[test]
-    fn union_find_matches_naive(edges in vec((0u32..30, 0u32..30), 0..60)) {
+/// Union-find agrees with a naive label-propagation reference.
+#[test]
+fn union_find_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for case in 0..100 {
+        let n_edges = rng.gen_range(0usize..60);
+        let edges: Vec<(u32, u32)> = (0..n_edges)
+            .map(|_| (rng.gen_range(0u32..30), rng.gen_range(0u32..30)))
+            .collect();
         let mut uf = UnionFind::new(30);
         let mut labels: Vec<u32> = (0..30).collect();
         for &(a, b) in &edges {
@@ -109,117 +153,164 @@ proptest! {
             let (la, lb) = (labels[a as usize], labels[b as usize]);
             if la != lb {
                 for l in labels.iter_mut() {
-                    if *l == lb { *l = la; }
+                    if *l == lb {
+                        *l = la;
+                    }
                 }
             }
         }
         for i in 0..30u32 {
             for j in 0..30u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     uf.connected(i, j),
-                    labels[i as usize] == labels[j as usize]
+                    labels[i as usize] == labels[j as usize],
+                    "case {case}: ({i},{j})"
                 );
             }
         }
         let distinct: HashSet<u32> = labels.iter().copied().collect();
-        prop_assert_eq!(uf.set_count(), distinct.len());
+        assert_eq!(uf.set_count(), distinct.len(), "case {case}");
     }
+}
 
-    /// Inclusion–exclusion in the Calculator equals brute-force set algebra.
-    #[test]
-    fn calculator_matches_brute_force(docs in vec(vec(0u32..8, 1..5), 1..60)) {
+/// Inclusion–exclusion in the Calculator equals brute-force set algebra.
+#[test]
+fn calculator_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for case in 0..40 {
+        let docs = random_docs(&mut rng, 8, 60);
         let mut calc = Calculator::new();
         for d in &docs {
             calc.observe(&TagSet::from_ids(d));
         }
-        // check every pair and a few triples
         let universe: BTreeSet<u32> = docs.iter().flatten().copied().collect();
         let tags: Vec<u32> = universe.into_iter().collect();
         for (i, &a) in tags.iter().enumerate() {
             for &b in &tags[i + 1..] {
-                let inter = docs.iter().filter(|d| d.contains(&a) && d.contains(&b)).count();
-                let union = docs.iter().filter(|d| d.contains(&a) || d.contains(&b)).count();
+                let inter = docs
+                    .iter()
+                    .filter(|d| d.contains(&a) && d.contains(&b))
+                    .count();
+                let union = docs
+                    .iter()
+                    .filter(|d| d.contains(&a) || d.contains(&b))
+                    .count();
                 let expected = (inter > 0).then(|| inter as f64 / union as f64);
                 let got = calc.jaccard(&TagSet::from_ids(&[a, b]));
                 match (expected, got) {
                     (None, None) => {}
-                    (Some(e), Some(g)) => prop_assert!((e - g).abs() < 1e-12),
-                    other => prop_assert!(false, "mismatch {:?}", other),
+                    (Some(e), Some(g)) => {
+                        assert!((e - g).abs() < 1e-12, "case {case}: ({a},{b})")
+                    }
+                    other => panic!("case {case}: mismatch {other:?}"),
                 }
             }
         }
     }
+}
 
-    /// Jaccard coefficients are always within (0, 1].
-    #[test]
-    fn reported_coefficients_are_probabilities(docs in vec(vec(0u32..10, 1..5), 1..50)) {
+/// Jaccard coefficients are always within (0, 1].
+#[test]
+fn reported_coefficients_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..60 {
+        let docs = random_docs(&mut rng, 10, 50);
         let mut calc = Calculator::new();
         for d in &docs {
             calc.observe(&TagSet::from_ids(d));
         }
         for report in calc.report_and_reset() {
-            prop_assert!(report.jaccard > 0.0 && report.jaccard <= 1.0);
-            prop_assert!(report.counter >= 1);
+            assert!(report.jaccard > 0.0 && report.jaccard <= 1.0);
+            assert!(report.counter >= 1);
         }
     }
+}
 
-    /// Gini is in [0, 1), zero for uniform, and scale invariant.
-    #[test]
-    fn gini_bounds_and_invariance(loads in vec(0.0f64..1000.0, 1..40), scale in 0.1f64..100.0) {
+/// Gini is in [0, 1), zero for uniform, and scale invariant.
+#[test]
+fn gini_bounds_and_invariance() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for case in 0..100 {
+        let n = rng.gen_range(1usize..40);
+        let loads: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 1000.0).collect();
+        let scale = 0.1 + rng.gen::<f64>() * 99.9;
         let g = gini(&loads);
-        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
+        assert!((0.0..1.0).contains(&g), "case {case}: gini {g}");
         let scaled: Vec<f64> = loads.iter().map(|&x| x * scale).collect();
-        prop_assert!((gini(&scaled) - g).abs() < 1e-9);
+        assert!((gini(&scaled) - g).abs() < 1e-9, "case {case}");
         let uniform = vec![3.5; loads.len()];
-        prop_assert!(gini(&uniform).abs() < 1e-12);
+        assert!(gini(&uniform).abs() < 1e-12);
         // Lorenz curve stays under the diagonal
         for (x, y) in lorenz_curve(&loads) {
-            prop_assert!(y <= x + 1e-9);
+            assert!(y <= x + 1e-9, "case {case}");
         }
     }
+}
 
-    /// TagSet operations agree with BTreeSet reference semantics.
-    #[test]
-    fn tagset_ops_match_btreeset(a in vec(0u32..50, 0..10), b in vec(0u32..50, 0..10)) {
+/// TagSet operations agree with BTreeSet reference semantics.
+#[test]
+fn tagset_ops_match_btreeset() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for case in 0..300 {
+        let len_a = rng.gen_range(0usize..10);
+        let len_b = rng.gen_range(0usize..10);
+        let a: Vec<u32> = (0..len_a).map(|_| rng.gen_range(0u32..50)).collect();
+        let b: Vec<u32> = (0..len_b).map(|_| rng.gen_range(0u32..50)).collect();
         let ts_a = TagSet::from_ids(&a);
         let ts_b = TagSet::from_ids(&b);
         let set_a: BTreeSet<u32> = a.iter().copied().collect();
         let set_b: BTreeSet<u32> = b.iter().copied().collect();
-        prop_assert_eq!(ts_a.len(), set_a.len());
-        prop_assert_eq!(ts_a.intersection_len(&ts_b), set_a.intersection(&set_b).count());
-        prop_assert_eq!(ts_a.union_len(&ts_b), set_a.union(&set_b).count());
-        prop_assert_eq!(ts_a.intersects(&ts_b), !set_a.is_disjoint(&set_b));
-        prop_assert_eq!(ts_a.is_subset_of(&ts_b), set_a.is_subset(&set_b));
+        assert_eq!(ts_a.len(), set_a.len(), "case {case}");
+        assert_eq!(
+            ts_a.intersection_len(&ts_b),
+            set_a.intersection(&set_b).count(),
+            "case {case}"
+        );
+        assert_eq!(ts_a.union_len(&ts_b), set_a.union(&set_b).count());
+        assert_eq!(ts_a.intersects(&ts_b), !set_a.is_disjoint(&set_b));
+        assert_eq!(ts_a.is_subset_of(&ts_b), set_a.is_subset(&set_b));
     }
+}
 
-    /// Count windows never hold more than their capacity and keep exact
-    /// aggregate counts.
-    #[test]
-    fn count_window_capacity_and_counts(
-        inserts in vec(vec(0u32..10, 0..4), 1..80),
-        cap in 1usize..30,
-    ) {
+/// Count windows never hold more than their capacity and keep exact
+/// aggregate counts.
+#[test]
+fn count_window_capacity_and_counts() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for case in 0..100 {
+        let n = rng.gen_range(1usize..80);
+        let inserts: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0usize..4);
+                (0..len).map(|_| rng.gen_range(0u32..10)).collect()
+            })
+            .collect();
+        let cap = rng.gen_range(1usize..30);
         let mut w = TagSetWindow::count(cap);
         for (i, ids) in inserts.iter().enumerate() {
             w.insert(TagSet::from_ids(ids), Timestamp(i as u64));
         }
-        prop_assert!(w.live_docs() as usize <= cap);
+        assert!(w.live_docs() as usize <= cap, "case {case}");
         // reference: last `cap` tagsets
         let start = inserts.len().saturating_sub(cap);
         let mut reference: HashMap<TagSet, u64> = HashMap::new();
         for ids in &inserts[start..] {
             *reference.entry(TagSet::from_ids(ids)).or_insert(0) += 1;
         }
-        prop_assert_eq!(w.distinct_tagsets(), reference.len());
+        assert_eq!(w.distinct_tagsets(), reference.len(), "case {case}");
         for (ts, count) in reference {
-            prop_assert_eq!(w.count_of(&ts), count);
+            assert_eq!(w.count_of(&ts), count, "case {case}");
         }
     }
+}
 
-    /// Tagset loads are consistent: `l_j` ≥ own count, ≤ total docs, and
-    /// equals the brute-force count of intersecting documents.
-    #[test]
-    fn input_loads_match_brute_force(specs in tagset_window()) {
+/// Tagset loads are consistent: `l_j` ≥ own count, ≤ total docs, and
+/// equals the brute-force count of intersecting documents.
+#[test]
+fn input_loads_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(111);
+    for case in 0..60 {
+        let specs = random_specs(&mut rng);
         let input = build_input(&specs);
         for (j, stat) in input.stats.iter().enumerate() {
             let brute: u64 = input
@@ -228,9 +319,9 @@ proptest! {
                 .filter(|other| other.tags.intersects(&stat.tags))
                 .map(|other| other.count)
                 .sum();
-            prop_assert_eq!(input.loads[j], brute);
-            prop_assert!(input.loads[j] >= stat.count);
-            prop_assert!(input.loads[j] <= input.total_docs);
+            assert_eq!(input.loads[j], brute, "case {case}");
+            assert!(input.loads[j] >= stat.count);
+            assert!(input.loads[j] <= input.total_docs);
         }
     }
 }
