@@ -15,8 +15,8 @@
 
 use crate::heavy::{EmergingPair, HeavyPairs};
 use crate::store::SignatureStore;
-use setcorr_core::{CoefficientReport, CorrelationBackend};
-use setcorr_model::TagSet;
+use setcorr_core::{CoefficientReport, CorrelationBackend, MigrationBundle};
+use setcorr_model::{FxHashSet, Tag, TagSet};
 
 /// Tuning knobs of the approximate backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,11 +116,21 @@ impl CorrelationBackend for ApproxCalculator {
     }
 
     fn observe(&mut self, notification: &TagSet) {
+        // standalone use: a task-local counter serves as the document id
+        let doc_id = self.next_doc;
+        if !notification.is_empty() {
+            self.next_doc += 1;
+        }
+        self.observe_doc(doc_id, notification);
+    }
+
+    fn observe_doc(&mut self, doc_id: u64, notification: &TagSet) {
+        // Fold the *global* document id so that signatures of replicated
+        // tags are bit-identical across Calculators — the property live
+        // migration's min-merge relies on.
         if notification.is_empty() {
             return;
         }
-        let doc_id = self.next_doc;
-        self.next_doc += 1;
         self.received += 1;
         self.store.observe(doc_id, notification);
         self.heavy.observe(notification);
@@ -171,6 +181,28 @@ impl CorrelationBackend for ApproxCalculator {
 
     fn received(&self) -> u64 {
         self.received
+    }
+
+    fn export_state(&self) -> MigrationBundle {
+        MigrationBundle {
+            counters: Vec::new(),
+            signatures: self.store.export_signatures(),
+            pairs: self.heavy.export_pairs(),
+        }
+    }
+
+    fn retain_tags(&mut self, keep: &FxHashSet<Tag>) {
+        self.store.retain_tags(keep);
+        self.heavy.retain_tags(keep);
+    }
+
+    fn adopt_state(&mut self, bundle: &MigrationBundle) {
+        for (tag, slots, items) in &bundle.signatures {
+            self.store.adopt_signature(*tag, slots, *items);
+        }
+        for &(a, b, n) in &bundle.pairs {
+            self.heavy.adopt_pair(a, b, n);
+        }
     }
 }
 
@@ -261,6 +293,52 @@ mod tests {
             "the burst leads on growth"
         );
         assert!(emerging[1].growth < 2.0);
+    }
+
+    #[test]
+    fn migrated_state_reassembles_split_streams() {
+        // Pre-fence docs at the donor, post-fence docs at the heir (global
+        // doc ids, shared hash family): after adoption the heir's estimate
+        // must match a single backend that saw the whole stream.
+        let params = ApproxParams::default();
+        let mut whole = ApproxCalculator::new(params);
+        let mut donor = ApproxCalculator::new(params);
+        let mut heir = ApproxCalculator::new(params);
+        for doc in 0u64..600 {
+            let tags = if doc % 3 == 0 { ts(&[1, 2]) } else { ts(&[1]) };
+            whole.observe_doc(doc, &tags);
+            if doc < 400 {
+                donor.observe_doc(doc, &tags);
+            } else {
+                heir.observe_doc(doc, &tags);
+            }
+        }
+        heir.adopt_state(&donor.export_state());
+        let truth = whole.jaccard(&ts(&[1, 2])).unwrap();
+        let merged = heir.jaccard(&ts(&[1, 2])).unwrap();
+        assert!(
+            (merged - truth).abs() < 1e-9,
+            "identical evidence must give identical estimates: {merged} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn retain_tags_drops_departed_state() {
+        let mut calc = ApproxCalculator::with_defaults();
+        for doc in 0u64..50 {
+            calc.observe_doc(doc, &ts(&[1, 2]));
+            calc.observe_doc(1_000 + doc, &ts(&[3, 4]));
+        }
+        let keep: FxHashSet<Tag> = [Tag(1), Tag(2)].into_iter().collect();
+        calc.retain_tags(&keep);
+        assert!(calc.jaccard(&ts(&[1, 2])).is_some(), "kept pair survives");
+        assert_eq!(calc.store().signature(Tag(3)), None, "departed tag gone");
+        let state = calc.export_state();
+        assert_eq!(state.signatures.len(), 2);
+        assert!(state
+            .pairs
+            .iter()
+            .all(|&(a, b, _)| keep.contains(&a) && keep.contains(&b)));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! whose traffic is new or sharply grown — the emerging-story signal the
 //! paper motivates with the enBlogue use case.
 
-use setcorr_model::{FxHashMap, Tag, TagSet};
+use setcorr_model::{FxHashMap, FxHashSet, Tag, TagSet};
 use setcorr_sketch::{pair_key, CountMinSketch};
 
 /// One heavy co-occurring pair with its estimated window count.
@@ -124,6 +124,49 @@ impl HeavyPairs {
     /// since Count-Min never under-counts).
     pub fn estimate(&self, a: Tag, b: Tag) -> u64 {
         self.cms.query(pair_key(a.0, b.0))
+    }
+
+    /// Export the candidate pairs with their Count-Min counts, sorted by
+    /// pair, for a live-migration handoff. Only the bounded candidate set
+    /// travels; residual Count-Min mass outside it stays behind (the
+    /// sketch's error remains one-sided: the receiver may under-*estimate*
+    /// a non-candidate pair it later re-observes, never a tracked one).
+    pub fn export_pairs(&self) -> Vec<(Tag, Tag, u64)> {
+        let mut out: Vec<(Tag, Tag, u64)> = self
+            .candidates
+            .keys()
+            .map(|&key| {
+                let (a, b) = decode(key);
+                (a, b, self.cms.query(key))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Merge one migrated pair count in: `n` co-occurrences folded into the
+    /// sketch and the candidate set at once.
+    pub fn adopt_pair(&mut self, a: Tag, b: Tag, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let key = pair_key(a.0, b.0);
+        self.observed += n;
+        let estimate = self.cms.add(key, n);
+        self.candidates.insert(key, estimate);
+        if self.candidates.len() > 4 * self.capacity {
+            self.prune();
+        }
+    }
+
+    /// Drop the candidate pairs with a tag outside `keep` (the owner's tag
+    /// set after a repartition). Their Count-Min mass remains until the
+    /// next epoch roll — a one-sided residual, like any sketch collision.
+    pub fn retain_tags(&mut self, keep: &FxHashSet<Tag>) {
+        self.candidates.retain(|&key, _| {
+            let (a, b) = decode(key);
+            keep.contains(&a) && keep.contains(&b)
+        });
     }
 
     /// Keep the heaviest `2 × capacity` candidates; the lightest survivor

@@ -28,6 +28,24 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
 /// The shared family of `k` hash permutations. One instance serves every
 /// signature in a [`crate::SignatureStore`], so the `2k` multipliers are
 /// stored once, not per tag.
+///
+/// ```
+/// use setcorr_approx::{MinHasher, MinHashSignature};
+///
+/// // 256 permutations: standard error ≤ sqrt(0.25 / 256) ≈ 0.031.
+/// let hasher = MinHasher::new(256, 42);
+/// let mut a = MinHashSignature::new(hasher.k());
+/// let mut b = MinHashSignature::new(hasher.k());
+/// for doc in 0u64..1_000 {
+///     a.observe(&hasher, doc);
+/// }
+/// for doc in 500u64..1_500 {
+///     b.observe(&hasher, doc);
+/// }
+/// // |A ∩ B| = 500, |A ∪ B| = 1500 → J = 1/3.
+/// let estimate = a.estimate_jaccard(&b).unwrap();
+/// assert!((estimate - 1.0 / 3.0).abs() < 0.1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MinHasher {
     mul: Box<[u64]>,
@@ -113,6 +131,17 @@ impl MinHashSignature {
     /// The raw per-permutation minima (`u64::MAX` = empty slot).
     pub fn slots(&self) -> &[u64] {
         &self.mins
+    }
+
+    /// Reconstruct a signature from raw slot minima and an item count —
+    /// the wire format of a live-migration handoff. Only meaningful when
+    /// the slots were produced by the *same* hash family (same `k`, same
+    /// seed) over globally consistent element ids.
+    pub fn from_raw(slots: Vec<u64>, items: u64) -> Self {
+        MinHashSignature {
+            mins: slots.into_boxed_slice(),
+            items,
+        }
     }
 
     /// Merge `other` into `self`, producing the signature of the set union

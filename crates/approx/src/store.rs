@@ -16,7 +16,7 @@
 //!   skip rebuilds when nothing changed (the Partitioner-side mode).
 
 use crate::minhash::{estimate_jaccard_many, mix64, MinHashSignature, MinHasher};
-use setcorr_model::{fx, FxHashMap, Tag, TagSet, TagSetWindow};
+use setcorr_model::{fx, FxHashMap, FxHashSet, Tag, TagSet, TagSetWindow};
 
 /// Per-tag MinHash signatures with shared hash family.
 #[derive(Debug, Clone)]
@@ -125,6 +125,44 @@ impl SignatureStore {
         }
         self.synced_version = Some(window.version());
         true
+    }
+
+    /// Export every per-tag signature as `(tag, raw slots, items)`, sorted
+    /// by tag — the `signatures` field of a live-migration bundle.
+    ///
+    /// Receivers can only merge these when both stores share one hash
+    /// family (same `k`, same seed) and were fed *globally* consistent
+    /// document ids; the topology guarantees both by building all
+    /// Calculator backends from one seed and stamping notifications with
+    /// the Disseminator's document sequence number.
+    pub fn export_signatures(&self) -> Vec<(Tag, Vec<u64>, u64)> {
+        let mut out: Vec<(Tag, Vec<u64>, u64)> = self
+            .signatures
+            .iter()
+            .map(|(&tag, sig)| (tag, sig.slots().to_vec(), sig.items()))
+            .collect();
+        out.sort_unstable_by_key(|&(tag, _, _)| tag);
+        out
+    }
+
+    /// Merge one migrated signature in (element-wise minimum = union of the
+    /// observed document sets). Panics if the slot count does not match
+    /// this store's hash family.
+    pub fn adopt_signature(&mut self, tag: Tag, slots: &[u64], items: u64) {
+        assert_eq!(slots.len(), self.hasher.k(), "hash family mismatch");
+        match self.signatures.get_mut(&tag) {
+            Some(sig) => sig.merge(&MinHashSignature::from_raw(slots.to_vec(), items)),
+            None => {
+                self.signatures
+                    .insert(tag, MinHashSignature::from_raw(slots.to_vec(), items));
+            }
+        }
+    }
+
+    /// Drop the signatures of every tag outside `keep` (the owner's tag set
+    /// after a repartition).
+    pub fn retain_tags(&mut self, keep: &FxHashSet<Tag>) {
+        self.signatures.retain(|tag, _| keep.contains(tag));
     }
 
     /// Drop all signatures (round boundary).

@@ -1,0 +1,121 @@
+//! Cost of a live repartition: planning the handoff, extracting state, and
+//! adopting it at the new owner.
+//!
+//! The protocol's "at large scale" claim rests on migration being `O(state
+//! units)`, independent of the window's document count — signature and
+//! counter state is small and mergeable (Cormode & Dark), so a partition
+//! swap moves kilobytes, not the window. The `handoff/*` rows measure one
+//! full fence at a donor Calculator (export → plan → adopt at the heir)
+//! for exact and approximate backends; `stall/*` compares that against
+//! plain ingest throughput — a Calculator buffers stream tuples only while
+//! its barrier waits for peer state, so the tuples stalled per migration
+//! are bounded by arrivals during one handoff (`RunReport::stalled_tuples`
+//! counts them in real runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setcorr_approx::{ApproxCalculator, ApproxParams};
+use setcorr_core::{plan_handoff, Calculator, CorrelationBackend, PartitionSet};
+use setcorr_model::{Tag, TagSet};
+
+/// `vocab` tags split evenly over `k` partitions, offset by `shift` — the
+/// old and new maps of a migration differ by one rotation.
+fn partition_map(vocab: u32, k: usize, shift: usize) -> PartitionSet {
+    let mut ps = PartitionSet::empty(k);
+    for t in 0..vocab {
+        let part = (t as usize / (vocab as usize).div_ceil(k) + shift) % k;
+        ps.parts[part].absorb_tags(&[Tag(t)], 0);
+    }
+    ps
+}
+
+/// A synthetic round at one Calculator: `docs` notifications of 2–3 tags
+/// drawn from the low end of the vocabulary (its owned range).
+fn feed(backend: &mut dyn CorrelationBackend, docs: u64, vocab: u32) {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for doc in 0..docs {
+        let a = (next() % vocab as u64) as u32;
+        let b = (next() % vocab as u64) as u32;
+        backend.observe_doc(doc, &TagSet::from_ids(&[a, b]));
+    }
+}
+
+fn bench_handoff(c: &mut Criterion) {
+    const VOCAB: u32 = 64; // one partition's worth of tags
+    const K: usize = 5;
+    let old = partition_map(VOCAB, K, 0);
+    let new = partition_map(VOCAB, K, 1);
+
+    let mut group = c.benchmark_group("handoff");
+    for docs in [2_000u64, 20_000] {
+        let mut exact = Calculator::new();
+        feed(&mut exact, docs, VOCAB);
+        group.throughput(Throughput::Elements(exact.export_state().units()));
+        group.bench_with_input(BenchmarkId::new("exact", docs), &docs, |b, _| {
+            b.iter(|| {
+                let plan = plan_handoff(0, &old, &new, &exact.export_state());
+                let mut heir = Calculator::new();
+                for (_, bundle) in &plan {
+                    heir.adopt_state(bundle);
+                }
+                heir.tracked()
+            })
+        });
+
+        let mut approx = ApproxCalculator::new(ApproxParams::default());
+        feed(&mut approx, docs, VOCAB);
+        group.bench_with_input(BenchmarkId::new("approx", docs), &docs, |b, _| {
+            b.iter(|| {
+                let plan = plan_handoff(0, &old, &new, &approx.export_state());
+                let mut heir = ApproxCalculator::new(ApproxParams::default());
+                for (_, bundle) in &plan {
+                    heir.adopt_state(bundle);
+                }
+                heir.tracked()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Tuples "stalled" per migration: how many notifications the same
+/// Calculator ingests in the time one handoff takes. Compare the two rows
+/// — the ratio is the stream-time price of a migration.
+fn bench_stall_equivalent(c: &mut Criterion) {
+    const VOCAB: u32 = 64;
+    const DOCS: u64 = 20_000;
+    let old = partition_map(VOCAB, 5, 0);
+    let new = partition_map(VOCAB, 5, 1);
+    let mut donor = Calculator::new();
+    feed(&mut donor, DOCS, VOCAB);
+
+    let mut group = c.benchmark_group("stall");
+    group.throughput(Throughput::Elements(DOCS));
+    group.bench_function("ingest_20k_tuples", |b| {
+        b.iter(|| {
+            let mut calc = Calculator::new();
+            feed(&mut calc, DOCS, VOCAB);
+            calc.tracked()
+        })
+    });
+    group.bench_function("one_migration", |b| {
+        b.iter(|| {
+            let state = donor.export_state();
+            let plan = plan_handoff(0, &old, &new, &state);
+            let mut heir = Calculator::new();
+            for (_, bundle) in &plan {
+                heir.adopt_state(bundle);
+            }
+            heir.tracked()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_handoff, bench_stall_equivalent);
+criterion_main!(benches);

@@ -17,12 +17,29 @@
 //! ground truth for any approximate backend's accuracy evaluation.
 
 use crate::calculator::{Calculator, CoefficientReport};
-use setcorr_model::TagSet;
+use crate::migration::MigrationBundle;
+use setcorr_model::{FxHashSet, Tag, TagSet};
 
 /// One Calculator task's correlation state, exact or approximate.
 ///
 /// Implementations must be `Send`: backends run inside bolts on the
 /// threaded runtime.
+///
+/// ```
+/// use setcorr_core::{Calculator, CorrelationBackend};
+/// use setcorr_model::TagSet;
+///
+/// // Any backend slots into the Calculator position of the topology; the
+/// // exact subset-counting Calculator is the reference implementation.
+/// let mut backend: Box<dyn CorrelationBackend> = Box::new(Calculator::new());
+/// backend.observe(&TagSet::from_ids(&[1, 2]));
+/// backend.observe(&TagSet::from_ids(&[1]));
+/// assert_eq!(backend.jaccard(&TagSet::from_ids(&[1, 2])), Some(0.5));
+///
+/// let reports = backend.report_and_reset();
+/// assert_eq!(reports.len(), 1, "one co-occurring tagset this period");
+/// assert_eq!(backend.tracked(), 0, "round state cleared");
+/// ```
 pub trait CorrelationBackend: Send {
     /// Short stable identifier ("exact", "approx"), used in run reports.
     fn name(&self) -> &'static str;
@@ -30,6 +47,19 @@ pub trait CorrelationBackend: Send {
     /// Ingest one notification tagset. Each call is one document's worth of
     /// assigned tags; empty notifications are ignored.
     fn observe(&mut self, notification: &TagSet);
+
+    /// Ingest one notification carrying a globally unique document id.
+    ///
+    /// Backends whose state must stay mergeable across Calculators during
+    /// live repartitioning (e.g. MinHash signatures, whose slots only agree
+    /// when the *same* document hashes identically everywhere) should
+    /// override this and fold `doc_id` instead of a task-local counter.
+    /// The default ignores the id and delegates to
+    /// [`CorrelationBackend::observe`].
+    fn observe_doc(&mut self, doc_id: u64, notification: &TagSet) {
+        let _ = doc_id;
+        self.observe(notification);
+    }
 
     /// The Jaccard coefficient of `ts`, or `None` if `ts` is trivial
     /// (< 2 tags) or was never observed co-occurring. Approximate backends
@@ -47,6 +77,28 @@ pub trait CorrelationBackend: Send {
 
     /// Notifications received in the current report period.
     fn received(&self) -> u64;
+
+    /// Export every piece of per-tag tracking state that could migrate to
+    /// another Calculator during a live repartition (see
+    /// [`crate::migration`]). The default exports nothing — such a backend
+    /// simply rebuilds from the post-fence stream after a migration.
+    fn export_state(&self) -> MigrationBundle {
+        MigrationBundle::default()
+    }
+
+    /// Drop all state involving tags outside `keep` — called after a
+    /// repartition with the Calculator's *new* tag ownership, once departing
+    /// state has been exported. The default keeps everything.
+    fn retain_tags(&mut self, keep: &FxHashSet<Tag>) {
+        let _ = keep;
+    }
+
+    /// Merge migrated state from another Calculator into this one, using
+    /// the per-field semantics documented on [`MigrationBundle`]. The
+    /// default ignores the bundle.
+    fn adopt_state(&mut self, bundle: &MigrationBundle) {
+        let _ = bundle;
+    }
 }
 
 impl CorrelationBackend for Calculator {
@@ -72,6 +124,21 @@ impl CorrelationBackend for Calculator {
 
     fn received(&self) -> u64 {
         Calculator::received(self)
+    }
+
+    fn export_state(&self) -> MigrationBundle {
+        MigrationBundle {
+            counters: Calculator::export_counters(self),
+            ..Default::default()
+        }
+    }
+
+    fn retain_tags(&mut self, keep: &FxHashSet<Tag>) {
+        Calculator::retain_covered(self, keep);
+    }
+
+    fn adopt_state(&mut self, bundle: &MigrationBundle) {
+        Calculator::absorb_counters(self, &bundle.counters);
     }
 }
 

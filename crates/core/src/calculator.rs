@@ -13,7 +13,7 @@
 //! where the union cardinality comes from inclusion–exclusion (Eq. 2) over
 //! the subset counters, then clears all counters.
 
-use setcorr_model::{FxHashMap, TagSet};
+use setcorr_model::{FxHashMap, FxHashSet, Tag, TagSet};
 
 /// One reported coefficient: `(s_i, J(s_i), CN(s_i))` as emitted to the
 /// Tracker (§6.2). `CN` is the raw intersection counter, used by the Tracker
@@ -76,6 +76,12 @@ impl Calculator {
     ///
     /// Exact as long as this Calculator received every document containing
     /// any tag of `ts` — guaranteed when `ts` lies inside its partition.
+    /// During a live migration the counter table can be *transiently*
+    /// inconsistent (bundles from different senders may straddle a report
+    /// boundary, leaving a superset counter without its singletons), which
+    /// can drive the alternating sum negative; it is clamped here and the
+    /// coefficient paths below additionally clamp the union to at least
+    /// the intersection, keeping every reported `J` in `(0, 1]`.
     pub fn union_count(&self, ts: &TagSet) -> u64 {
         let mut union: i64 = 0;
         for mask in ts.subset_masks() {
@@ -86,7 +92,6 @@ impl Calculator {
                 union -= c;
             }
         }
-        debug_assert!(union >= 0, "inclusion–exclusion went negative");
         union.max(0) as u64
     }
 
@@ -100,9 +105,41 @@ impl Calculator {
         if inter == 0 {
             return None;
         }
-        let union = self.union_count(ts);
-        debug_assert!(union >= inter);
+        // `max(inter)` guards against transiently inconsistent counters
+        // mid-migration (see `union_count`); for consistent state it is a
+        // no-op since the union always contains the intersection.
+        let union = self.union_count(ts).max(inter);
         Some(inter as f64 / union as f64)
+    }
+
+    /// Export every subset counter, sorted by tagset, for a live-migration
+    /// handoff (the `counters` field of a
+    /// [`crate::migration::MigrationBundle`]).
+    pub fn export_counters(&self) -> Vec<(TagSet, u64)> {
+        let mut out: Vec<(TagSet, u64)> = self
+            .counters
+            .iter()
+            .map(|(ts, &n)| (ts.clone(), n))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Drop every counter whose tagset is not fully covered by `keep` — the
+    /// Calculator's tag ownership after a repartition. Counters it no
+    /// longer owns have been handed to the new owners first.
+    pub fn retain_covered(&mut self, keep: &FxHashSet<Tag>) {
+        self.counters.retain(|ts, _| ts.is_covered_by(keep));
+    }
+
+    /// Merge migrated counters additively. The migration protocol
+    /// guarantees each counter arrives from exactly one sender and covers a
+    /// disjoint slice of the stream, so `+` reassembles the single-owner
+    /// count exactly.
+    pub fn absorb_counters(&mut self, counters: &[(TagSet, u64)]) {
+        for (ts, n) in counters {
+            *self.counters.entry(ts.clone()).or_insert(0) += n;
+        }
     }
 
     /// Emit coefficients for every tracked tagset with ≥ 2 tags and clear all
@@ -114,7 +151,7 @@ impl Calculator {
         keys.sort_unstable();
         for ts in keys {
             let inter = self.counters[ts];
-            let union = self.union_count(ts);
+            let union = self.union_count(ts).max(inter);
             out.push(CoefficientReport {
                 tags: ts.clone(),
                 jaccard: inter as f64 / union as f64,
@@ -246,6 +283,21 @@ mod tests {
         assert_eq!(reports[0].counter, 1);
         assert_eq!(reports[1].tags, ts(&[5, 6]));
         assert_eq!(reports[1].counter, 2);
+    }
+
+    #[test]
+    fn transiently_inconsistent_counters_stay_bounded() {
+        // Mid-migration a superset counter can land before its singletons
+        // (adoptions from different senders straddling a tick). Inclusion–
+        // exclusion would go negative; the coefficient must stay in (0, 1]
+        // instead of diverging.
+        let mut c = Calculator::new();
+        c.absorb_counters(&[(ts(&[1, 2]), 5)]);
+        assert_eq!(c.union_count(&ts(&[1, 2])), 0, "clamped, not negative");
+        assert_eq!(c.jaccard(&ts(&[1, 2])), Some(1.0), "union >= intersection");
+        let reports = c.report_and_reset();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].jaccard.is_finite() && reports[0].jaccard <= 1.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! a tag with `s_j`, so loads are computable from distinct-tagset counts and
 //! a tag → tagset postings index without storing documents.
 
-use setcorr_model::{FxHashMap, Tag, TagSet, TagSetStat};
+use setcorr_model::{FxHashMap, Tag, TagSet, TagSetStat, TagSetWindow};
 
 /// Dense index of a distinct tagset within a [`PartitionInput`].
 pub type TagSetIdx = u32;
@@ -76,6 +76,24 @@ impl PartitionInput {
             postings,
             total_docs,
         }
+    }
+
+    /// Build directly from a live [`TagSetWindow`]'s
+    /// [`iter_stats`](TagSetWindow::iter_stats) — the Partitioner's path
+    /// when answering a live repartition request. One pass and one sort;
+    /// the resulting sorted [`stats`](Self::stats) can double as the
+    /// window snapshot for downstream consumers, instead of sorting a
+    /// separate [`snapshot`](TagSetWindow::snapshot) a second time.
+    pub fn from_window(window: &TagSetWindow) -> Self {
+        Self::from_stats(
+            window
+                .iter_stats()
+                .map(|(tags, count)| TagSetStat {
+                    tags: tags.clone(),
+                    count,
+                })
+                .collect(),
+        )
     }
 
     /// Number of distinct tagsets.

@@ -5,7 +5,7 @@
 //!
 //! * [`algorithms`] — the four tag-partitioning algorithms of §4
 //!   (DS / SCC / SCL / SCI) over a [`PartitionInput`] window,
-//! * [`partition`] — partitions, coverage/replication invariants, and the
+//! * [`partition`](mod@partition) — partitions, coverage/replication invariants, and the
 //!   quality evaluation of §8.2,
 //! * [`graph`] — the tagset co-occurrence graph and its connected components
 //!   (Fig. 7 connectivity measurements),
@@ -14,6 +14,8 @@
 //!   repartition triggering (§3.3, §7),
 //! * [`merger`] — combining parallel Partitioner outputs and answering
 //!   Single Additions (§6.2, §7.1),
+//! * [`migration`] — live per-tag state handoff between Calculators when a
+//!   repartition lands mid-stream (the runtime side of §7.2),
 //! * [`quality`] — drift monitoring against creation-time references (§7.2),
 //! * [`tracker`] — max-CN deduplication of replicated coefficients (§6.2),
 //! * [`union_find`] — the disjoint-set forest underpinning DS.
@@ -31,6 +33,7 @@ pub mod disseminator;
 pub mod graph;
 pub mod input;
 pub mod merger;
+pub mod migration;
 pub mod partition;
 pub mod quality;
 pub mod tracker;
@@ -47,6 +50,7 @@ pub use disseminator::{Disseminator, DisseminatorAction, DisseminatorConfig, Rou
 pub use graph::{connected_components, Component, Components, ConnectivityReport};
 pub use input::{PartitionInput, TagSetIdx};
 pub use merger::{MergeOutcome, Merger, PartitionerOutput};
+pub use migration::{plan_handoff, MigrationBundle};
 pub use partition::{CalcId, Partition, PartitionQuality, PartitionSet};
 pub use quality::{QualityMonitor, QualityReference, RepartitionCause};
 pub use tracker::{TrackedCoefficient, Tracker};

@@ -1,0 +1,332 @@
+//! Live state handoff between Calculators during a repartition (§7.2 made
+//! *live*).
+//!
+//! The paper's Disseminator requests repartitions when routing quality
+//! drifts, but applying a new partition map only rewires *future* routing:
+//! any per-tag tracking state accumulated in the current report period —
+//! exact subset counters, MinHash signatures, heavy-pair counts — would
+//! stay stranded at the old owner, splitting each coefficient's evidence
+//! across two Calculators. This module plans the handoff that moves that
+//! state to its new owners, following the observation of Cormode & Dark
+//! (*Fast Sketch-based Recovery of Correlation Outliers*) that sketch and
+//! signature state is small and *mergeable*, so migrating a tag costs
+//! `O(k)` words, not `O(window)` documents.
+//!
+//! ## Correctness model
+//!
+//! The protocol relies on two invariants, both enforced by the topology:
+//!
+//! 1. **Epoch fence.** The (single-task) Disseminator routes every document
+//!    under exactly one partition map and announces each map switch with a
+//!    fence message on the same FIFO channels as the notifications. A
+//!    Calculator therefore sees `[old-epoch notifications] fence
+//!    [new-epoch notifications]` — nothing straddles the boundary.
+//! 2. **Replica agreement.** Every Calculator whose partition covers a
+//!    tagset receives *all* documents containing it, so replicated counters
+//!    are equal, and (with a shared hash family and global document ids)
+//!    replicated signatures are identical.
+//!
+//! Under those invariants [`plan_handoff`] produces an exactly-once
+//! transfer: for each piece of state the *canonical* holder — the
+//! lowest-indexed old owner — sends it to every new owner that did not
+//! already hold it. Adoption is commutative (`+` for counters and pair
+//! counts, element-wise `min` for signatures), so arrival order relative
+//! to new-epoch notifications does not matter: pre-fence evidence from the
+//! sender plus post-fence evidence at the receiver sums to exactly the
+//! whole stream, with no loss and no double counting.
+//!
+//! State that no partition of the *old* map covered (stragglers from
+//! Single Additions, §7.1) has no canonical holder and is dropped rather
+//! than risked as a duplicate; the Disseminator re-requests those
+//! additions under the new map.
+
+use crate::partition::{CalcId, PartitionSet};
+use setcorr_model::{Tag, TagSet};
+
+/// Per-tag tracking state extracted from one
+/// [`CorrelationBackend`](crate::backend::CorrelationBackend) for a live
+/// migration, in a representation every backend can produce and adopt.
+///
+/// Merge semantics per field (what
+/// [`CorrelationBackend::adopt_state`](crate::backend::CorrelationBackend::adopt_state)
+/// must implement):
+///
+/// * `counters` — **additive**: exact subset counters of disjoint stream
+///   halves sum to the whole-stream counter,
+/// * `signatures` — **element-wise minimum**: the MinHash signature of a
+///   set union is the slot-wise min of the parts (idempotent, so
+///   duplicated deliveries are harmless),
+/// * `pairs` — **additive** into the Count-Min sketch and candidate set
+///   (one-sided overestimates stay one-sided).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationBundle {
+    /// Exact subset counters: `(tagset, occurrence count)`.
+    pub counters: Vec<(TagSet, u64)>,
+    /// Per-tag MinHash signatures as raw slot minima plus the folded item
+    /// count: `(tag, slots, items)`. Only meaningful between backends
+    /// sharing one hash family and global document ids.
+    pub signatures: Vec<(Tag, Vec<u64>, u64)>,
+    /// Heavy co-occurring pair counts: `(a, b, count)` with `a < b`.
+    pub pairs: Vec<(Tag, Tag, u64)>,
+}
+
+impl MigrationBundle {
+    /// True when the bundle carries no state at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.signatures.is_empty() && self.pairs.is_empty()
+    }
+
+    /// Units of state carried (counters + signatures + pairs), the metric
+    /// reported per migration.
+    pub fn units(&self) -> u64 {
+        (self.counters.len() + self.signatures.len() + self.pairs.len()) as u64
+    }
+}
+
+/// First partition of `parts` covering the tagset, i.e. containing every
+/// tag of `ts`.
+fn first_owner(parts: &PartitionSet, ts: &TagSet) -> Option<CalcId> {
+    parts.covering_partition(ts)
+}
+
+/// Plan the outgoing handoff of Calculator `me` for a switch from `old` to
+/// `new` partitions, given the full exportable `state` of its backend.
+///
+/// Returns `(target, bundle)` pairs, sorted by target, holding exactly the
+/// pieces *this* Calculator is the canonical sender for — the lowest-
+/// indexed old owner — restricted to targets that now cover the piece but
+/// did not before. Pieces nobody covered under `old` are never sent (see
+/// the module docs); pieces `me` no longer covers under `new` should be
+/// dropped locally afterwards via
+/// [`CorrelationBackend::retain_tags`](crate::backend::CorrelationBackend::retain_tags).
+///
+/// ```
+/// use setcorr_core::{plan_handoff, Calculator, CorrelationBackend, PartitionSet};
+/// use setcorr_model::TagSet;
+///
+/// // Calculator 0 owned {1,2}; the new map hands both tags to Calculator 1.
+/// let mut old = PartitionSet::empty(2);
+/// old.parts[0].absorb(&TagSet::from_ids(&[1, 2]), 0);
+/// let mut new = PartitionSet::empty(2);
+/// new.parts[1].absorb(&TagSet::from_ids(&[1, 2]), 0);
+///
+/// let mut backend = Calculator::new();
+/// backend.observe(&TagSet::from_ids(&[1, 2]));
+/// let plan = plan_handoff(0, &old, &new, &backend.export_state());
+/// assert_eq!(plan.len(), 1);
+/// let (target, bundle) = &plan[0];
+/// assert_eq!(*target, 1);
+/// assert_eq!(bundle.counters.len(), 3); // {1}, {2}, {1,2}
+/// ```
+pub fn plan_handoff(
+    me: CalcId,
+    old: &PartitionSet,
+    new: &PartitionSet,
+    state: &MigrationBundle,
+) -> Vec<(CalcId, MigrationBundle)> {
+    let k = new.k();
+    let mut out: Vec<MigrationBundle> = vec![MigrationBundle::default(); k];
+
+    // Exact subset counters: route each to every partition that newly
+    // covers it.
+    for (ts, n) in &state.counters {
+        if first_owner(old, ts) != Some(me) {
+            continue; // another replica is canonical, or nobody owned it
+        }
+        for (j, part) in new.parts.iter().enumerate() {
+            // partitions beyond the old map's size (elastic scale-up) are
+            // new by definition and covered nothing before
+            let covered_before = old.parts.get(j).is_some_and(|p| p.covers(ts));
+            if j != me && part.covers(ts) && !covered_before {
+                out[j].counters.push((ts.clone(), *n));
+            }
+        }
+    }
+
+    // Per-tag signatures: ownership is per single tag.
+    for (tag, slots, items) in &state.signatures {
+        let canonical = old.parts.iter().position(|p| p.tags.contains(tag));
+        if canonical != Some(me) {
+            continue;
+        }
+        for (j, part) in new.parts.iter().enumerate() {
+            let owned_before = old.parts.get(j).is_some_and(|p| p.tags.contains(tag));
+            if j != me && part.tags.contains(tag) && !owned_before {
+                out[j].signatures.push((*tag, slots.clone(), *items));
+            }
+        }
+    }
+
+    // Heavy pair counts: a pair behaves like its two-tag tagset.
+    for &(a, b, n) in &state.pairs {
+        let pair = TagSet::new(vec![a, b]);
+        if first_owner(old, &pair) != Some(me) {
+            continue;
+        }
+        for (j, part) in new.parts.iter().enumerate() {
+            let covered_before = old.parts.get(j).is_some_and(|p| p.covers(&pair));
+            if j != me && part.covers(&pair) && !covered_before {
+                out[j].pairs.push((a, b, n));
+            }
+        }
+    }
+
+    out.into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CorrelationBackend;
+    use crate::calculator::Calculator;
+    use crate::partition::Partition;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    fn parts(spec: &[&[u32]]) -> PartitionSet {
+        PartitionSet {
+            parts: spec
+                .iter()
+                .map(|ids| {
+                    let mut p = Partition::new();
+                    p.absorb(&ts(ids), 0);
+                    p
+                })
+                .collect(),
+        }
+    }
+
+    fn bundle_counters(spec: &[(&[u32], u64)]) -> MigrationBundle {
+        MigrationBundle {
+            counters: spec.iter().map(|(ids, n)| (ts(ids), *n)).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn moves_counters_to_the_new_owner() {
+        let old = parts(&[&[1, 2], &[3]]);
+        let new = parts(&[&[3], &[1, 2]]);
+        let state = bundle_counters(&[(&[1], 5), (&[2], 4), (&[1, 2], 3)]);
+        let plan = plan_handoff(0, &old, &new, &state);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].0, 1);
+        assert_eq!(plan[0].1.counters.len(), 3);
+    }
+
+    #[test]
+    fn canonical_sender_is_the_lowest_old_owner() {
+        // tag 1 replicated at calcs 0 and 1; only calc 0 may send it.
+        let old = parts(&[&[1], &[1]]);
+        let new = parts(&[&[9], &[9], &[1]]);
+        let state = bundle_counters(&[(&[1], 7)]);
+        assert_eq!(plan_handoff(0, &old, &new, &state).len(), 1);
+        assert!(plan_handoff(1, &old, &new, &state).is_empty());
+    }
+
+    #[test]
+    fn targets_that_already_covered_receive_nothing() {
+        // calc 1 covered {1} before and after: it keeps its own replica.
+        let old = parts(&[&[1], &[1]]);
+        let new = parts(&[&[2], &[1]]);
+        let state = bundle_counters(&[(&[1], 7)]);
+        assert!(plan_handoff(0, &old, &new, &state).is_empty());
+    }
+
+    #[test]
+    fn unowned_state_is_never_sent() {
+        // {5} was covered by no old partition (a Single-Addition straggler).
+        let old = parts(&[&[1]]);
+        let new = parts(&[&[5]]);
+        let state = bundle_counters(&[(&[5], 2)]);
+        assert!(plan_handoff(0, &old, &new, &state).is_empty());
+    }
+
+    #[test]
+    fn signatures_and_pairs_follow_tag_ownership() {
+        let old = parts(&[&[1, 2], &[3]]);
+        let new = parts(&[&[3], &[1, 2]]);
+        let state = MigrationBundle {
+            counters: Vec::new(),
+            signatures: vec![(Tag(1), vec![9, 9], 4), (Tag(2), vec![8, 8], 4)],
+            pairs: vec![(Tag(1), Tag(2), 6)],
+        };
+        let plan = plan_handoff(0, &old, &new, &state);
+        assert_eq!(plan.len(), 1);
+        let (target, bundle) = &plan[0];
+        assert_eq!(*target, 1);
+        assert_eq!(bundle.signatures.len(), 2);
+        assert_eq!(bundle.pairs, vec![(Tag(1), Tag(2), 6)]);
+    }
+
+    #[test]
+    fn exact_backend_round_trips_through_a_handoff() {
+        // Stream seen by the old owner, migrated whole to a fresh owner:
+        // the adopted coefficients must equal the originals.
+        let mut donor = Calculator::new();
+        for _ in 0..3 {
+            CorrelationBackend::observe(&mut donor, &ts(&[1, 2]));
+        }
+        CorrelationBackend::observe(&mut donor, &ts(&[1]));
+        let old = parts(&[&[1, 2], &[9]]);
+        let new = parts(&[&[9], &[1, 2]]);
+        let plan = plan_handoff(0, &old, &new, &donor.export_state());
+        let mut heir = Calculator::new();
+        for (target, bundle) in &plan {
+            assert_eq!(*target, 1);
+            heir.adopt_state(bundle);
+        }
+        assert_eq!(
+            CorrelationBackend::jaccard(&heir, &ts(&[1, 2])),
+            Some(3.0 / 4.0)
+        );
+        // the donor drops what it no longer covers
+        donor.retain_tags(&new.parts[0].tags);
+        assert_eq!(donor.tracked(), 0);
+    }
+
+    #[test]
+    fn split_stream_reassembles_exactly() {
+        // Pre-fence docs at the old owner, post-fence docs at the new one:
+        // additive adoption must reconstruct the single-owner counts.
+        let mut whole = Calculator::new();
+        let mut pre = Calculator::new();
+        let mut post = Calculator::new();
+        let docs: Vec<TagSet> = vec![ts(&[1, 2]), ts(&[1]), ts(&[1, 2]), ts(&[2])];
+        for d in &docs {
+            CorrelationBackend::observe(&mut whole, d);
+        }
+        for d in &docs[..2] {
+            CorrelationBackend::observe(&mut pre, d);
+        }
+        for d in &docs[2..] {
+            CorrelationBackend::observe(&mut post, d);
+        }
+        let old = parts(&[&[1, 2], &[9]]);
+        let new = parts(&[&[9], &[1, 2]]);
+        for (_, bundle) in plan_handoff(0, &old, &new, &pre.export_state()) {
+            post.adopt_state(&bundle);
+        }
+        assert_eq!(
+            CorrelationBackend::jaccard(&post, &ts(&[1, 2])),
+            CorrelationBackend::jaccard(&whole, &ts(&[1, 2]))
+        );
+    }
+
+    #[test]
+    fn bundle_accounting() {
+        let mut b = MigrationBundle::default();
+        assert!(b.is_empty());
+        assert_eq!(b.units(), 0);
+        b.counters.push((ts(&[1]), 1));
+        b.signatures.push((Tag(1), vec![0], 1));
+        b.pairs.push((Tag(1), Tag(2), 1));
+        assert!(!b.is_empty());
+        assert_eq!(b.units(), 3);
+    }
+}

@@ -112,6 +112,26 @@ impl PartitionSet {
 
     /// Score this partition set against a window (§8.2 metrics): how the
     /// Disseminator *would* route the window's documents.
+    ///
+    /// ```
+    /// use setcorr_core::{PartitionInput, PartitionSet};
+    /// use setcorr_model::{TagSet, TagSetStat};
+    ///
+    /// // Window: {1,2} ×3 docs and {3} ×3 docs; partitions split them
+    /// // cleanly, so every document is routed exactly once.
+    /// let input = PartitionInput::from_stats(vec![
+    ///     TagSetStat { tags: TagSet::from_ids(&[1, 2]), count: 3 },
+    ///     TagSetStat { tags: TagSet::from_ids(&[3]), count: 3 },
+    /// ]);
+    /// let mut parts = PartitionSet::empty(2);
+    /// parts.parts[0].absorb(&TagSet::from_ids(&[1, 2]), 3);
+    /// parts.parts[1].absorb(&TagSet::from_ids(&[3]), 3);
+    ///
+    /// let quality = parts.evaluate(&input);
+    /// assert_eq!(quality.avg_communication, 1.0);
+    /// assert_eq!(quality.max_load_share, 0.5);
+    /// assert_eq!(quality.uncovered_tagsets, 0);
+    /// ```
     pub fn evaluate(&self, input: &PartitionInput) -> PartitionQuality {
         let k = self.k();
         let mut per_part = vec![0u64; k];

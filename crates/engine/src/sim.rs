@@ -7,7 +7,7 @@
 //! the mode used by the experiment harness and the integration tests.
 //!
 //! On exhaustion of all spouts the engine *flushes*: components are visited
-//! in declaration order, each task's [`Bolt::on_flush`] runs and the queue is
+//! in declaration order, each task's [`Bolt::on_flush`](crate::topology::Bolt::on_flush) runs and the queue is
 //! drained before moving on, so downstream flushes observe upstream finals.
 
 use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};

@@ -8,9 +8,12 @@
 //! Shutdown protocol: every producer task, once exhausted (spout) or fully
 //! flushed (bolt), broadcasts one `Eos` marker over each *non-feedback*
 //! outgoing edge. A bolt task flushes after collecting `Eos` from every
-//! upstream producer task; feedback edges never carry `Eos` (they'd form a
-//! cycle) — messages arriving on them after shutdown are dropped, mirroring
-//! a Storm worker ignoring tuples for a dead executor.
+//! upstream producer task — then keeps draining its feedback inbox until
+//! [`Bolt::drained`](crate::topology::Bolt::drained) holds, so in-flight peer-to-peer control exchanges
+//! (live state migrations) finish before the flush. Feedback edges never
+//! carry `Eos` (they'd form a cycle) — messages arriving on them after a
+//! task finally shuts down are dropped, mirroring a Storm worker ignoring
+//! tuples for a dead executor.
 
 use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -244,11 +247,24 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
                         };
                         let mut processed = 0u64;
                         let mut eos_seen = 0usize;
+                        let mut data_rx = data_rx;
                         let mut ctl_rx = ctl_rx;
                         let mut data_open = true;
+                        let mut ctl_open = true;
                         // Eos travels only on data inboxes; control inboxes
                         // carry feedback messages until their senders drop.
-                        while eos_seen < quota && data_open {
+                        // After the data side finishes, the loop keeps
+                        // draining feedback messages until the bolt reports
+                        // `drained()` — the migration barrier: a peer bolt
+                        // that owes us control messages cannot itself
+                        // terminate before sending them (they are triggered
+                        // by data messages preceding its own Eos), so this
+                        // wait always ends.
+                        loop {
+                            let data_done = eos_seen >= quota || !data_open;
+                            if data_done && (bolt.drained() || !ctl_open) {
+                                break;
+                            }
                             crossbeam::channel::select! {
                                 recv(data_rx) -> m => match m {
                                     Ok(Envelope::Data(msg)) => {
@@ -256,7 +272,12 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
                                         bolt.on_message(msg, &mut emitter);
                                     }
                                     Ok(Envelope::Eos) => eos_seen += 1,
-                                    Err(_) => data_open = false,
+                                    // park the disconnected side so the
+                                    // select does not spin on its error
+                                    Err(_) => {
+                                        data_open = false;
+                                        data_rx = crossbeam::channel::never();
+                                    }
                                 },
                                 recv(ctl_rx) -> m => match m {
                                     Ok(Envelope::Data(msg)) => {
@@ -264,8 +285,10 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
                                         bolt.on_message(msg, &mut emitter);
                                     }
                                     Ok(Envelope::Eos) => {}
-                                    // control senders gone: park the channel
-                                    Err(_) => ctl_rx = crossbeam::channel::never(),
+                                    Err(_) => {
+                                        ctl_open = false;
+                                        ctl_rx = crossbeam::channel::never();
+                                    }
                                 },
                             }
                         }
@@ -442,6 +465,109 @@ mod tests {
         // must terminate
         let stats = run_threaded(tb.build());
         assert!(stats.processed[a] >= 10);
+    }
+
+    #[test]
+    fn migration_during_drain_completes_cleanly() {
+        // Two peer tasks of one component exchange one handoff message each
+        // when a "fence" arrives as the very last data message before Eos.
+        // One task can reach its Eos quota before the other has sent; the
+        // post-Eos control drain (gated on `Bolt::drained`) must still
+        // deliver both handoffs before either task flushes.
+        let got: StdArc<Mutex<Vec<(usize, u64)>>> = StdArc::new(Mutex::new(Vec::new()));
+        struct Peer {
+            task: usize,
+            component: ComponentId,
+            expected: u64,
+            received: u64,
+            got: StdArc<Mutex<Vec<(usize, u64)>>>,
+        }
+        impl Bolt<u64> for Peer {
+            fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+                if m == 1 {
+                    // the fence: owe one handoff to the other task
+                    self.expected += 1;
+                    out.emit_direct(
+                        "hand",
+                        self.component,
+                        1 - self.task,
+                        100 + self.task as u64,
+                    );
+                } else {
+                    self.received += 1;
+                    self.got.lock().unwrap().push((self.task, m));
+                }
+            }
+            fn drained(&self) -> bool {
+                self.received >= self.expected
+            }
+        }
+        for _ in 0..20 {
+            // scheduling-sensitive: repeat to exercise different interleavings
+            let got = got.clone();
+            got.lock().unwrap().clear();
+            let mut tb = TopologyBuilder::new();
+            let src = tb.add_spout("src", 1, |_| Box::new(std::iter::once(1u64)));
+            let peers = {
+                let got = got.clone();
+                tb.add_bolt("peers", 2, move |task| {
+                    Box::new(Peer {
+                        task,
+                        component: 1, // own component id
+                        expected: 0,
+                        received: 0,
+                        got: got.clone(),
+                    }) as Box<dyn Bolt<u64>>
+                })
+            };
+            assert_eq!(peers, 1);
+            tb.connect(src, "out", peers, Grouping::All);
+            tb.connect_feedback(peers, "hand", peers, Grouping::Direct);
+            run_threaded(tb.build());
+            let mut seen = got.lock().unwrap().clone();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                vec![(0, 101), (1, 100)],
+                "both handoffs must land before shutdown"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_after_consumer_shutdown_is_dropped_without_deadlock() {
+        // `late` replies on a feedback edge only at flush time — after the
+        // upstream `early` bolt has terminated. The send hits a closed
+        // inbox and is dropped silently; the run must still terminate.
+        struct Early;
+        impl Bolt<u64> for Early {
+            fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+                out.emit("fwd", m);
+            }
+        }
+        struct Late {
+            n: u64,
+        }
+        impl Bolt<u64> for Late {
+            fn on_message(&mut self, _m: u64, _out: &mut dyn Emitter<u64>) {
+                self.n += 1;
+            }
+            fn on_flush(&mut self, out: &mut dyn Emitter<u64>) {
+                // early has flushed and exited by now (its Eos preceded ours)
+                out.emit("back", self.n);
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..25));
+        let early = tb.add_bolt("early", 1, |_| Box::new(Early) as Box<dyn Bolt<u64>>);
+        let late = tb.add_bolt("late", 1, |_| Box::new(Late { n: 0 }) as Box<dyn Bolt<u64>>);
+        tb.connect(src, "out", early, Grouping::Shuffle);
+        tb.connect(early, "fwd", late, Grouping::Shuffle);
+        tb.connect_feedback(late, "back", early, Grouping::Shuffle);
+        let stats = run_threaded(tb.build());
+        assert_eq!(stats.processed[late], 25);
+        // the flush-time reply was emitted into the void, not processed
+        assert_eq!(stats.processed[early], 25);
     }
 
     #[test]

@@ -53,6 +53,23 @@ pub trait Bolt<M>: Send {
     fn on_flush(&mut self, out: &mut dyn Emitter<M>) {
         let _ = out;
     }
+
+    /// True when this bolt is not waiting for any in-flight *feedback*
+    /// message. The threaded runtime keeps draining a task's feedback inbox
+    /// after end-of-stream until `drained()` holds, so peer-to-peer control
+    /// protocols (e.g. live state migration between Calculators) complete
+    /// cleanly even when a repartition lands right at shutdown. Bolts that
+    /// track an expectation (messages owed = messages received) override
+    /// this; the default — no expectations — ends the task as soon as every
+    /// upstream finished.
+    ///
+    /// Liveness contract for overriders: every message you are waiting for
+    /// must be guaranteed to be sent by a peer *before* that peer's own
+    /// shutdown (e.g. triggered by a data-channel message that precedes its
+    /// `Eos`), or the topology will hang at drain time.
+    fn drained(&self) -> bool {
+        true
+    }
 }
 
 /// Emission interface handed to bolts (and used by the engine for spouts).
@@ -145,6 +162,31 @@ impl<M> Topology<M> {
 }
 
 /// Builder for [`Topology`].
+///
+/// ```
+/// use setcorr_engine::{run_sim, Bolt, Emitter, Grouping, TopologyBuilder};
+///
+/// /// Doubles everything it receives onto its "doubled" stream.
+/// struct Doubler;
+/// impl Bolt<u64> for Doubler {
+///     fn on_message(&mut self, msg: u64, out: &mut dyn Emitter<u64>) {
+///         out.emit("doubled", msg * 2);
+///     }
+/// }
+///
+/// let mut tb = TopologyBuilder::new();
+/// let spout = tb.add_spout("numbers", 1, |_| Box::new(0u64..100));
+/// let doubler = tb.add_bolt("doubler", 2, |_| Box::new(Doubler) as Box<dyn Bolt<u64>>);
+/// let sink = tb.add_bolt("sink", 1, |_| Box::new(Doubler) as Box<dyn Bolt<u64>>);
+/// tb.connect(spout, "out", doubler, Grouping::Shuffle);
+/// tb.connect(doubler, "doubled", sink, Grouping::Global);
+///
+/// let topology = tb.build(); // validates: rejects unmarked cycles
+/// assert_eq!(topology.total_tasks(), 4);
+/// let stats = run_sim(topology);
+/// assert_eq!(stats.processed[doubler], 100);
+/// assert_eq!(stats.processed[sink], 100);
+/// ```
 pub struct TopologyBuilder<M> {
     components: Vec<ComponentSpec<M>>,
     edges: Vec<Edge<M>>,

@@ -5,7 +5,7 @@
 //! tagset), *processing-load dispersion* (Gini coefficient across
 //! Calculators), *Jaccard accuracy* against a centralized baseline, and
 //! *repartition counts*. This crate provides the statistics shared by the
-//! runtime monitors ([`gini`]) and by the experiment harness
+//! runtime monitors ([`gini`](mod@gini)) and by the experiment harness
 //! ([`Chart`]/[`Series`] for the over-time plots, [`ErrorStats`] for Fig. 5,
 //! [`Running`] for summaries).
 

@@ -17,12 +17,20 @@
 //! §2's overhead argument holds for the *naive* design measured here: test
 //! every candidate pair against per-tag sketches, and phantom
 //! co-occurrences dominate. It does not hold for sketch designs that never
-//! enumerate the pair space. The `setcorr-approx` crate builds exactly that
-//! (following Cormode & Dark 2017, *Fast Sketch-based Recovery of
+//! enumerate the pair space. The `setcorr-approx` crate builds exactly
+//! that (following Cormode & Dark 2017, *Fast Sketch-based Recovery of
 //! Correlation Outliers*): pairs are only considered when they actually
 //! arrive in a document, this crate's [`CountMinSketch`] counts them with
 //! one-sided error, and MinHash signatures estimate their Jaccard
-//! coefficients in `O(k)`. Keep this crate's `SketchCooccurrence` as the
+//! coefficients in `O(k)`.
+//!
+//! That subsystem plugs into the topology behind the
+//! `setcorr_core::CorrelationBackend` trait (select it per run via
+//! `ExperimentConfig::backend` / `BackendKind::approx()`), and since the
+//! live-repartitioning protocol its signature and pair state also
+//! *migrates* between Calculators when partitions change mid-stream —
+//! sketch state being small and mergeable is exactly what makes `O(k)`
+//! handoffs possible. Keep this crate's `SketchCooccurrence` as the
 //! measured strawman; reach for `setcorr-approx` for a production
 //! approximate backend.
 

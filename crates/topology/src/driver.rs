@@ -39,18 +39,39 @@ impl BackendKind {
     }
 
     fn build(&self, task: usize) -> Box<dyn CorrelationBackend> {
+        let _ = task;
         match *self {
             BackendKind::Exact => Box::new(Calculator::new()),
-            BackendKind::Approx(params) => Box::new(ApproxCalculator::new(ApproxParams {
-                // decorrelate the hash families across Calculator tasks
-                seed: params.seed ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ..params
-            })),
+            // All Calculator tasks share one hash family: MinHash slots
+            // only min-merge correctly across tasks when the same document
+            // hashes identically everywhere, which live migration (and
+            // replica agreement in general) depends on. Per-task error is
+            // unaffected — only cross-task error correlation increases.
+            BackendKind::Approx(params) => Box::new(ApproxCalculator::new(params)),
         }
     }
 }
 
 /// One experiment configuration (§8.1 parameter grid).
+///
+/// ```
+/// use setcorr_topology::{BackendKind, ExperimentConfig};
+/// use setcorr_core::AlgorithmKind;
+///
+/// // The paper's defaults: DS partitioning, k = 10 Calculators, P = 10
+/// // Partitioners, thr = 0.5, exact backend, live repartitioning on.
+/// let config = ExperimentConfig::for_algorithm(AlgorithmKind::Ds);
+/// assert_eq!((config.k, config.partitioners, config.thr), (10, 10, 0.5));
+/// assert!(config.live_migration);
+///
+/// // Approximate backend, offline repartitioning — for comparison runs.
+/// let variant = config
+///     .clone()
+///     .with_backend(BackendKind::approx())
+///     .with_live_migration(false);
+/// assert_eq!(variant.backend.name(), "approx");
+/// assert!(!variant.live_migration);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Partitioning algorithm.
@@ -83,6 +104,12 @@ pub struct ExperimentConfig {
     pub elastic_docs_per_calc: Option<u64>,
     /// Correlation backend the Calculators run (exact or approximate).
     pub backend: BackendKind,
+    /// Live repartitioning (default on): partition installs are fenced to
+    /// the Calculators, which hand per-tag tracking state to the new
+    /// owners mid-stream instead of stranding it until the next round.
+    /// Disable to reproduce the offline behaviour (new maps affect future
+    /// routing only) for comparison runs.
+    pub live_migration: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -102,6 +129,7 @@ impl Default for ExperimentConfig {
             seed: 42,
             elastic_docs_per_calc: None,
             backend: BackendKind::Exact,
+            live_migration: true,
         }
     }
 }
@@ -119,6 +147,12 @@ impl ExperimentConfig {
     /// This config with a different correlation backend.
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// This config with live repartitioning switched on or off.
+    pub fn with_live_migration(mut self, on: bool) -> Self {
+        self.live_migration = on;
         self
     }
 }
@@ -199,23 +233,30 @@ pub fn build_topology(
             thr: config.thr,
         };
         let (bootstrap, sample) = (config.bootstrap_after, config.sample_every);
+        let live = config.live_migration;
         tb.add_bolt("disseminator", 1, move |_| {
-            Box::new(DisseminatorBolt::new(
-                k,
-                dconf,
-                calculator_id,
-                bootstrap,
-                sample,
-                recorder.clone(),
-            )) as Box<dyn Bolt<Msg>>
+            Box::new(
+                DisseminatorBolt::new(k, dconf, calculator_id, bootstrap, sample, recorder.clone())
+                    .with_live_migration(live),
+            ) as Box<dyn Bolt<Msg>>
         })
     };
     assert_eq!(disseminator, disseminator_id);
 
     let backend = config.backend;
-    let calculator = tb.add_bolt("calculator", config.k, move |task| {
-        Box::new(CalculatorBolt::with_backend(task, backend.build(task))) as Box<dyn Bolt<Msg>>
-    });
+    let calculator = {
+        let recorder = recorder.clone();
+        let live = config.live_migration;
+        tb.add_bolt("calculator", config.k, move |task| {
+            let bolt = CalculatorBolt::with_backend(task, backend.build(task));
+            let bolt = if live {
+                bolt.with_migration(calculator_id, k, recorder.clone())
+            } else {
+                bolt
+            };
+            Box::new(bolt) as Box<dyn Bolt<Msg>>
+        })
+    };
     assert_eq!(calculator, calculator_id);
 
     let tracker = {
@@ -253,8 +294,13 @@ pub fn build_topology(
     tb.connect(merger, "additions", disseminator, Grouping::All);
     tb.connect(disseminator, "notifs", calculator, Grouping::Direct);
     tb.connect(disseminator, "calcticks", calculator, Grouping::All);
+    // Epoch fences ride the same FIFO channels as notifications and ticks.
+    tb.connect(disseminator, "fence", calculator, Grouping::All);
     tb.connect_feedback(disseminator, "repart", partitioner, Grouping::All);
     tb.connect_feedback(disseminator, "addreq", merger, Grouping::Global);
+    // Peer-to-peer state handoff: a control self-loop, excluded from
+    // end-of-stream tracking (the `drained` barrier covers it instead).
+    tb.connect_feedback(calculator, "adopt", calculator, Grouping::Direct);
     tb.connect(calculator, "coeffs", tracker, Grouping::Global);
 
     tb.build()

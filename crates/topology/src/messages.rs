@@ -4,7 +4,8 @@
 //! payloads behind `Arc` so that `All`-grouping broadcasts stay cheap.
 
 use setcorr_core::{
-    CalcId, CoefficientReport, PartitionSet, PartitionerOutput, QualityReference, RepartitionCause,
+    CalcId, CoefficientReport, MigrationBundle, PartitionSet, PartitionerOutput, QualityReference,
+    RepartitionCause,
 };
 use setcorr_model::{Document, TagSet, TagSetStat, Timestamp};
 use std::sync::Arc;
@@ -71,8 +72,37 @@ pub enum Msg {
     /// Disseminator → one Calculator (direct grouping): the subset of a
     /// document's tags this Calculator owns (§6.2).
     Notification {
+        /// Global document sequence number stamped by the Disseminator —
+        /// identical across all notifications of one document, so backends
+        /// with id-sensitive state (MinHash signatures) stay mergeable
+        /// across Calculators during live migration.
+        doc: u64,
         /// The owned subset.
         tags: TagSet,
+    },
+    /// Disseminator → all Calculators: the epoch fence of a live
+    /// repartition. Delivered on the same FIFO channels as notifications,
+    /// so each Calculator sees exactly the routing split the Disseminator
+    /// applied: everything before the fence was routed under the old map,
+    /// everything after under `partitions`.
+    Fence {
+        /// The installed epoch.
+        epoch: u64,
+        /// The newly installed partition map (each Calculator reads its own
+        /// new ownership and everyone else's, to plan the state handoff).
+        partitions: Arc<PartitionSet>,
+    },
+    /// Calculator → Calculator (direct grouping, feedback): migrated
+    /// per-tag tracking state, plus the per-fence barrier marker — every
+    /// Calculator sends exactly one `Adopt` to every peer per fence, empty
+    /// or not, so receivers can tell when a migration has fully drained.
+    Adopt {
+        /// The fence epoch this handoff answers.
+        epoch: u64,
+        /// The sending Calculator.
+        from: CalcId,
+        /// The migrated state (possibly empty).
+        bundle: Arc<MigrationBundle>,
     },
     /// Calculator → Tracker: everything one Calculator computed in a round.
     CalcReport {

@@ -15,9 +15,11 @@
 //! merger      → "additions"  → disseminator  (all)
 //! disseminator→ "notifs"     → calculator    (direct)
 //!             → "calcticks"  → calculator    (all)
+//!             → "fence"      → calculator    (all)
 //!             → "repart"     → partitioner   (all, feedback)
 //!             → "addreq"     → merger        (global, feedback)
-//! calculator  → "coeffs"     → tracker       (global)
+//! calculator  → "adopt"      → calculator    (direct, feedback)
+//!             → "coeffs"     → tracker       (global)
 //! ```
 //!
 //! Ticks reach Calculators *through* the Disseminator so that, on both
@@ -27,9 +29,9 @@
 use crate::messages::Msg;
 use crate::recorder::SharedRecorder;
 use setcorr_core::{
-    disjoint_sets, partition_setcover, AlgorithmKind, Calculator, CorrelationBackend, Disseminator,
-    DisseminatorAction, DisseminatorConfig, Merger, PartitionInput, PartitionerOutput,
-    SetCoverVariant, Tracker,
+    disjoint_sets, partition_setcover, plan_handoff, AlgorithmKind, Calculator, CorrelationBackend,
+    Disseminator, DisseminatorAction, DisseminatorConfig, Merger, MigrationBundle, PartitionInput,
+    PartitionSet, PartitionerOutput, SetCoverVariant, Tracker,
 };
 use setcorr_engine::{Bolt, ComponentId, Emitter};
 use setcorr_model::{
@@ -138,8 +140,11 @@ impl Bolt<Msg> for PartitionerBolt {
                 self.window.insert(tags, time);
             }
             Msg::RepartitionRequest { epoch, .. } => {
-                let snapshot = self.window.snapshot();
-                let input = PartitionInput::from_stats(snapshot.clone());
+                // One pass over the live window statistics: the input's
+                // sorted distinct-tagset stats double as the snapshot the
+                // Merger evaluates reference quality against.
+                let input = PartitionInput::from_window(&self.window);
+                let snapshot = input.stats.clone();
                 let output = match self.algorithm {
                     AlgorithmKind::Ds => PartitionerOutput::DisjointSets(disjoint_sets(&input)),
                     AlgorithmKind::Scc => PartitionerOutput::Partitions(partition_setcover(
@@ -301,6 +306,11 @@ pub struct DisseminatorBolt {
     bootstrap_requested: bool,
     seen_tagsets: u64,
     lifetime_routed: u64,
+    /// Global document sequence number stamped on notifications.
+    doc_seq: u64,
+    /// Relay epoch fences to the Calculators on partition installs, so
+    /// they hand tracking state to the new owners (live repartitioning).
+    live_migration: bool,
     sample_every: u64,
     sample: Sample,
     unrouted: u64,
@@ -329,6 +339,8 @@ impl DisseminatorBolt {
             bootstrap_requested: false,
             seen_tagsets: 0,
             lifetime_routed: 0,
+            doc_seq: 0,
+            live_migration: false,
             sample_every: sample_every.max(1),
             sample: Sample {
                 per_calc: vec![0; k],
@@ -337,6 +349,14 @@ impl DisseminatorBolt {
             unrouted: 0,
             recorder,
         }
+    }
+
+    /// Enable live repartitioning: every partition install after the first
+    /// is fenced to the Calculators so they migrate state to the new
+    /// owners instead of stranding it.
+    pub fn with_live_migration(mut self, on: bool) -> Self {
+        self.live_migration = on;
+        self
     }
 
     fn flush_sample(&mut self) {
@@ -386,6 +406,8 @@ impl Bolt<Msg> for DisseminatorBolt {
                     }
                     return;
                 }
+                let doc = self.doc_seq;
+                self.doc_seq += 1;
                 let result = self.dissem.route(&tags);
                 if result.notifications.is_empty() {
                     self.unrouted += 1;
@@ -399,7 +421,7 @@ impl Bolt<Msg> for DisseminatorBolt {
                             "notifs",
                             self.calc_component,
                             calc,
-                            Msg::Notification { tags: subset },
+                            Msg::Notification { doc, tags: subset },
                         );
                     }
                     if self.sample.routed >= self.sample_every {
@@ -443,8 +465,25 @@ impl Bolt<Msg> for DisseminatorBolt {
                 if self.installed_epoch.is_some_and(|cur| epoch < cur) {
                     return; // stale
                 }
+                let live = self.installed_epoch.is_some();
                 self.installed_epoch = Some(epoch);
                 self.dissem.install_partitions(&partitions, reference);
+                if self.live_migration {
+                    // The fence travels on the same FIFO channels as the
+                    // notifications: each Calculator sees exactly the
+                    // old-map/new-map split this install applied, and
+                    // migrates its per-tag state to the new owners.
+                    if live {
+                        self.recorder.lock().live_repartitions += 1;
+                    }
+                    out.emit(
+                        "fence",
+                        Msg::Fence {
+                            epoch,
+                            partitions: partitions.clone(),
+                        },
+                    );
+                }
             }
             Msg::AdditionResponse { tags, calc } => {
                 self.dissem.apply_single_addition(&tags, calc);
@@ -465,14 +504,48 @@ impl Bolt<Msg> for DisseminatorBolt {
 /// Computes and reports Jaccard coefficients every round (§3.1, §6.2),
 /// through a pluggable [`CorrelationBackend`]: the exact subset-counting
 /// Calculator or the MinHash/Count-Min approximate backend.
+///
+/// With live migration enabled, the bolt also speaks the repartition
+/// handoff protocol: on each [`Msg::Fence`] it exports its per-tag state,
+/// sends each departing piece to the canonical new owner
+/// ([`setcorr_core::plan_handoff`]), drops what it no longer owns, and
+/// adopts incoming [`Msg::Adopt`] bundles from its peers. One `Adopt` per
+/// peer per fence (empty or not) doubles as the barrier marker that lets
+/// the threaded runtime drain migrations cleanly at shutdown
+/// ([`setcorr_engine::Bolt::drained`]).
 pub struct CalculatorBolt {
     id: usize,
     calc: Box<dyn CorrelationBackend>,
     round: u64,
+    /// This component's id (peer-to-peer adopt routing) and task count.
+    component: ComponentId,
+    k: usize,
+    live_migration: bool,
+    /// The partition map of the last fence (`None` before the first).
+    partitions: Option<Arc<PartitionSet>>,
+    /// Epoch of the last fence processed (fences arrive in epoch order).
+    fenced_epoch: Option<u64>,
+    fences: u64,
+    /// Adopts applied and counted toward the barrier — only ever adopts
+    /// for epochs this task has fenced.
+    adopts: u64,
+    /// Adopts that raced ahead of their fence on the control channel
+    /// (`epoch` > [`Self::fenced_epoch`]): applying them early would merge
+    /// another epoch's pre-fence state into the current round and let the
+    /// barrier close on the wrong epoch's markers, so they wait here until
+    /// their fence arrives.
+    early_adopts: Vec<(u64, Arc<MigrationBundle>)>,
+    /// Data messages buffered while the migration barrier is open (adopts
+    /// owed for a processed fence have not all arrived yet). Processing
+    /// them only after the barrier closes keeps every round's evidence
+    /// complete — the migrated pre-fence state lands before the tick that
+    /// reports it.
+    pending: std::collections::VecDeque<Msg>,
+    recorder: Option<SharedRecorder>,
 }
 
 impl CalculatorBolt {
-    /// Calculator task `id` with the exact backend.
+    /// Calculator task `id` with the exact backend (no live migration).
     pub fn new(id: usize) -> Self {
         Self::with_backend(id, Box::new(Calculator::new()))
     }
@@ -483,14 +556,113 @@ impl CalculatorBolt {
             id,
             calc: backend,
             round: 0,
+            component: 0,
+            k: 1,
+            live_migration: false,
+            partitions: None,
+            fenced_epoch: None,
+            fences: 0,
+            adopts: 0,
+            early_adopts: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            recorder: None,
         }
     }
-}
 
-impl Bolt<Msg> for CalculatorBolt {
-    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+    /// Enable the live-migration protocol: this task lives at `component`
+    /// among `k` Calculator tasks, and reports migrated state volume into
+    /// `recorder`.
+    pub fn with_migration(
+        mut self,
+        component: ComponentId,
+        k: usize,
+        recorder: SharedRecorder,
+    ) -> Self {
+        self.component = component;
+        self.k = k;
+        self.live_migration = true;
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Handle one epoch fence: hand departing state to its new owners,
+    /// then drop it locally. Every peer gets exactly one `Adopt` (empty
+    /// bundles included) so the barrier accounting stays exact.
+    fn on_fence(&mut self, epoch: u64, new: Arc<PartitionSet>, out: &mut dyn Emitter<Msg>) {
+        if !self.live_migration {
+            self.partitions = Some(new);
+            return;
+        }
+        self.fences += 1;
+        // first install: nothing was ever routed to us, nothing to move
+        let plan = match self.partitions.as_deref() {
+            Some(old) => plan_handoff(self.id, old, &new, &self.calc.export_state()),
+            None => Vec::new(),
+        };
+        let mut per_peer: Vec<Option<MigrationBundle>> = (0..self.k).map(|_| None).collect();
+        for (target, bundle) in plan {
+            per_peer[target] = Some(bundle);
+        }
+        // peers owed no state still get an (empty, shared) barrier marker
+        let empty = Arc::new(MigrationBundle::default());
+        let mut moved = 0u64;
+        for (peer, slot) in per_peer.into_iter().enumerate() {
+            if peer == self.id {
+                continue;
+            }
+            let bundle = match slot {
+                Some(b) => Arc::new(b),
+                None => empty.clone(),
+            };
+            moved += bundle.units();
+            out.emit_direct(
+                "adopt",
+                self.component,
+                peer,
+                Msg::Adopt {
+                    epoch,
+                    from: self.id,
+                    bundle,
+                },
+            );
+        }
+        if moved > 0 {
+            if let Some(recorder) = &self.recorder {
+                recorder.lock().migrated_units += moved;
+            }
+        }
+        let keep = new
+            .parts
+            .get(self.id)
+            .map(|p| p.tags.clone())
+            .unwrap_or_default();
+        self.calc.retain_tags(&keep);
+        self.partitions = Some(new);
+        self.fenced_epoch = Some(epoch);
+        // Adopts that raced ahead of this fence become applicable now.
+        let mut i = 0;
+        while i < self.early_adopts.len() {
+            if self.early_adopts[i].0 <= epoch {
+                let (_, bundle) = self.early_adopts.swap_remove(i);
+                self.adopts += 1;
+                self.calc.adopt_state(&bundle);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// True while this task owes its barrier incoming `Adopt`s for a fence
+    /// it has processed — data messages are buffered until then.
+    fn awaiting_adopts(&self) -> bool {
+        self.adopts < self.fences * self.k.saturating_sub(1) as u64
+    }
+
+    /// Process one data-stream message (notification, tick, or fence).
+    fn handle_data(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
         match msg {
-            Msg::Notification { tags } => self.calc.observe(&tags),
+            Msg::Notification { doc, tags } => self.calc.observe_doc(doc, &tags),
+            Msg::Fence { epoch, partitions } => self.on_fence(epoch, partitions, out),
             Msg::Tick { round, .. } => {
                 let reports = self.calc.report_and_reset();
                 out.emit(
@@ -507,6 +679,47 @@ impl Bolt<Msg> for CalculatorBolt {
         }
     }
 
+    /// Replay buffered data messages until another fence re-opens the
+    /// barrier (or the buffer empties).
+    fn drain_pending(&mut self, out: &mut dyn Emitter<Msg>) {
+        while !self.awaiting_adopts() {
+            let Some(msg) = self.pending.pop_front() else {
+                return;
+            };
+            self.handle_data(msg, out);
+        }
+    }
+}
+
+impl Bolt<Msg> for CalculatorBolt {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::Adopt { epoch, bundle, .. } => {
+                if self.fenced_epoch.is_some_and(|fenced| epoch <= fenced) {
+                    self.adopts += 1;
+                    self.calc.adopt_state(&bundle);
+                    self.drain_pending(out);
+                } else {
+                    // ahead of our own fence for that epoch — hold it
+                    self.early_adopts.push((epoch, bundle));
+                }
+            }
+            data => {
+                if self.awaiting_adopts() {
+                    // the migration barrier: hold the stream until every
+                    // peer's pre-fence state has arrived, so no round is
+                    // reported with half its evidence
+                    if let Some(recorder) = &self.recorder {
+                        recorder.lock().stalled_tuples += 1;
+                    }
+                    self.pending.push_back(data);
+                } else {
+                    self.handle_data(data, out);
+                }
+            }
+        }
+    }
+
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
         // Safety net: anything the final tick did not flush.
         if self.calc.tracked() > 0 {
@@ -520,6 +733,15 @@ impl Bolt<Msg> for CalculatorBolt {
                 },
             );
         }
+    }
+
+    fn drained(&self) -> bool {
+        // One Adopt per peer per fence: every fence precedes our Eos on the
+        // data channel, and every peer processes its copy of that fence
+        // before its own Eos, so the owed messages are always in flight.
+        // When the barrier closes, `drain_pending` has already replayed
+        // every buffered message, so a drained task has nothing pending.
+        !self.awaiting_adopts()
     }
 }
 
@@ -840,7 +1062,13 @@ mod tests {
     fn calculator_reports_on_tick() {
         let mut c = CalculatorBolt::new(1);
         let mut cap = Capture::default();
-        c.on_message(Msg::Notification { tags: ts(&[1, 2]) }, &mut cap);
+        c.on_message(
+            Msg::Notification {
+                doc: 0,
+                tags: ts(&[1, 2]),
+            },
+            &mut cap,
+        );
         c.on_message(
             Msg::Tick {
                 round: 0,
@@ -864,6 +1092,233 @@ mod tests {
         // counters cleared: flush emits nothing
         c.on_flush(&mut cap);
         assert_eq!(cap.emitted.len(), 1);
+    }
+
+    #[test]
+    fn calculator_fence_hands_state_to_the_new_owner() {
+        let recorder = RunRecorder::shared(2);
+        let mut donor = CalculatorBolt::new(0).with_migration(9, 2, recorder.clone());
+        let mut heir = CalculatorBolt::new(1).with_migration(9, 2, recorder.clone());
+        let mut cap = Capture::default();
+
+        let map = |spec: &[&[u32]]| {
+            let mut ps = setcorr_core::PartitionSet::empty(2);
+            for (i, ids) in spec.iter().enumerate() {
+                ps.parts[i].absorb(&ts(ids), 0);
+            }
+            Arc::new(ps)
+        };
+        let fence = |epoch, ps: &Arc<setcorr_core::PartitionSet>| Msg::Fence {
+            epoch,
+            partitions: ps.clone(),
+        };
+
+        // epoch 0: donor owns {1,2}; nothing to migrate on the first map
+        let first = map(&[&[1, 2], &[3]]);
+        donor.on_message(fence(0, &first), &mut cap);
+        heir.on_message(fence(0, &first), &mut cap);
+        // both sent one (empty) Adopt to their single peer, and each still
+        // owes its barrier one incoming Adopt
+        assert_eq!(cap.direct.len(), 2);
+        assert!(!donor.drained() && !heir.drained());
+        let inflight: Vec<(&'static str, ComponentId, usize, Msg)> = cap.direct.drain(..).collect();
+        for (_, _, task, msg) in inflight {
+            if task == 0 {
+                donor.on_message(msg, &mut cap);
+            } else {
+                heir.on_message(msg, &mut cap);
+            }
+        }
+        assert!(donor.drained() && heir.drained());
+
+        // three documents routed to the donor under the old map
+        for doc in 0..3u64 {
+            donor.on_message(
+                Msg::Notification {
+                    doc,
+                    tags: ts(&[1, 2]),
+                },
+                &mut cap,
+            );
+        }
+
+        // epoch 1: ownership of {1,2} moves to the heir
+        cap.direct.clear();
+        let second = map(&[&[3], &[1, 2]]);
+        donor.on_message(fence(1, &second), &mut cap);
+        let (stream, to, task, msg) = cap.direct.remove(0);
+        assert_eq!((stream, to, task), ("adopt", 9, 1));
+        let Msg::Adopt {
+            epoch,
+            from,
+            bundle,
+        } = msg
+        else {
+            panic!("expected Adopt");
+        };
+        assert_eq!((epoch, from), (1, 0));
+        assert_eq!(bundle.counters.len(), 3, "{{1}}, {{2}}, {{1,2}}");
+        assert!(recorder.lock().migrated_units >= 3);
+
+        // the heir adopts, then reports the migrated coefficient at a tick;
+        // its own fence answer (an empty Adopt back to the donor) closes
+        // the donor's barrier
+        heir.on_message(fence(1, &second), &mut cap);
+        let heir_reply = cap.direct.pop().expect("heir answers the fence").3;
+        heir.on_message(
+            Msg::Adopt {
+                epoch,
+                from,
+                bundle,
+            },
+            &mut cap,
+        );
+        assert!(heir.drained(), "one adopt per fence received");
+        assert!(!donor.drained(), "donor still owes its barrier an adopt");
+        donor.on_message(heir_reply, &mut cap);
+        assert!(donor.drained());
+        cap.emitted.clear();
+        heir.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1),
+            },
+            &mut cap,
+        );
+        let Msg::CalcReport { reports, .. } = &cap.emitted[0].1 else {
+            panic!("expected CalcReport");
+        };
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].tags, ts(&[1, 2]));
+        assert_eq!(reports[0].counter, 3, "migrated counts intact");
+
+        // the donor no longer holds (or reports) the departed state
+        cap.emitted.clear();
+        donor.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1),
+            },
+            &mut cap,
+        );
+        let Msg::CalcReport { reports, .. } = &cap.emitted[0].1 else {
+            panic!("expected CalcReport");
+        };
+        assert!(reports.is_empty(), "no double reporting after handoff");
+    }
+
+    #[test]
+    fn adopts_racing_ahead_of_their_fence_wait_for_it() {
+        // An Adopt can overtake its fence on the control channel. Applying
+        // it early would merge another epoch's pre-fence state into the
+        // current round (and let the barrier close on the wrong epoch's
+        // markers), so it must be held until this task processes the fence.
+        let recorder = RunRecorder::shared(2);
+        let mut calc = CalculatorBolt::new(1).with_migration(9, 2, recorder.clone());
+        let mut cap = Capture::default();
+        calc.on_message(
+            Msg::Adopt {
+                epoch: 0,
+                from: 0,
+                bundle: Arc::new(setcorr_core::MigrationBundle {
+                    counters: vec![(ts(&[1]), 4), (ts(&[2]), 4), (ts(&[1, 2]), 4)],
+                    ..Default::default()
+                }),
+            },
+            &mut cap,
+        );
+        // not applied yet: a tick now reports nothing from the stash
+        calc.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1),
+            },
+            &mut cap,
+        );
+        let Msg::CalcReport { reports, .. } = &cap.emitted[0].1 else {
+            panic!("expected CalcReport");
+        };
+        assert!(reports.is_empty(), "stashed state must not leak early");
+        // the fence arrives: the stashed adopt applies and closes the barrier
+        let mut ps = setcorr_core::PartitionSet::empty(2);
+        ps.parts[1].absorb(&ts(&[1, 2]), 0);
+        calc.on_message(
+            Msg::Fence {
+                epoch: 0,
+                partitions: Arc::new(ps),
+            },
+            &mut cap,
+        );
+        assert!(calc.drained(), "stashed adopt counted once fenced");
+        cap.emitted.clear();
+        calc.on_message(
+            Msg::Tick {
+                round: 1,
+                time: Timestamp(2),
+            },
+            &mut cap,
+        );
+        let Msg::CalcReport { reports, .. } = &cap.emitted[0].1 else {
+            panic!("expected CalcReport");
+        };
+        assert_eq!(reports[0].counter, 4, "adopted after the fence, intact");
+    }
+
+    #[test]
+    fn migration_barrier_stalls_and_replays_the_stream_in_order() {
+        // Between a fence and the owed Adopts, notifications and ticks are
+        // buffered (stalled), then replayed in order once the barrier
+        // closes — so a round is never reported with half its evidence.
+        let recorder = RunRecorder::shared(2);
+        let mut calc = CalculatorBolt::new(1).with_migration(9, 2, recorder.clone());
+        let mut cap = Capture::default();
+        let mut ps = setcorr_core::PartitionSet::empty(2);
+        ps.parts[1].absorb(&ts(&[1, 2]), 0);
+        calc.on_message(
+            Msg::Fence {
+                epoch: 0,
+                partitions: Arc::new(ps),
+            },
+            &mut cap,
+        );
+        // barrier open: stream messages stall
+        calc.on_message(
+            Msg::Notification {
+                doc: 0,
+                tags: ts(&[1, 2]),
+            },
+            &mut cap,
+        );
+        calc.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1),
+            },
+            &mut cap,
+        );
+        assert!(cap.emitted.is_empty(), "tick must wait behind the barrier");
+        assert_eq!(recorder.lock().stalled_tuples, 2);
+        // peer state arrives: 2 pre-fence sightings of {1,2}
+        calc.on_message(
+            Msg::Adopt {
+                epoch: 0,
+                from: 0,
+                bundle: Arc::new(setcorr_core::MigrationBundle {
+                    counters: vec![(ts(&[1]), 2), (ts(&[2]), 2), (ts(&[1, 2]), 2)],
+                    ..Default::default()
+                }),
+            },
+            &mut cap,
+        );
+        // barrier closed: the stalled notification and tick replayed, and
+        // the round reports migrated + live evidence together
+        let Msg::CalcReport { reports, .. } = &cap.emitted[0].1 else {
+            panic!("expected CalcReport");
+        };
+        assert_eq!(
+            reports[0].counter, 3,
+            "2 migrated + 1 stalled-then-replayed"
+        );
     }
 
     #[test]

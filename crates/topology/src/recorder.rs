@@ -24,6 +24,16 @@ pub struct RunRecorder {
     pub single_additions: u64,
     /// Merges performed (= partitions installed).
     pub merges: u64,
+    /// Partition maps installed *live* — while tracking state existed and
+    /// had to migrate between Calculators (every install after the first).
+    pub live_repartitions: u64,
+    /// Units of state (counters + signatures + pairs) handed between
+    /// Calculators across all live repartitions.
+    pub migrated_units: u64,
+    /// Data messages (notifications/ticks) buffered behind a migration
+    /// barrier across all live repartitions — the per-migration stall the
+    /// `migration` bench measures.
+    pub stalled_tuples: u64,
     /// Lifetime notification total.
     pub total_notifications: u64,
     /// Lifetime routed (≥ 1 notification) tagset total.

@@ -42,6 +42,16 @@ pub struct RunReport {
     pub single_additions: u64,
     /// Partition installations (merges).
     pub merges: u64,
+    /// Partition maps installed *live*, with Calculator state migrated
+    /// mid-stream (every install after the first when live repartitioning
+    /// is on; 0 when it is off or no repartition fired).
+    pub live_repartitions: u64,
+    /// Units of tracking state (exact counters + signatures + pair counts)
+    /// handed between Calculators across all live repartitions.
+    pub migrated_units: u64,
+    /// Tuples buffered behind migration barriers (stalled, not dropped):
+    /// the stream-time cost of all live repartitions combined.
+    pub stalled_tuples: u64,
     /// Fraction of baseline tagsets (seen > sn times) that received some
     /// coefficient (§8.2.3 reports > 97 %).
     pub coverage: f64,
@@ -109,6 +119,9 @@ impl RunReport {
             repartitions_load: rep_load,
             single_additions: recorder.single_additions,
             merges: recorder.merges,
+            live_repartitions: recorder.live_repartitions,
+            migrated_units: recorder.migrated_units,
+            stalled_tuples: recorder.stalled_tuples,
             coverage: error.coverage(),
             mean_abs_error: error.mean_abs_error(),
             compared_tagsets: error.baseline_tagsets(),
@@ -186,6 +199,12 @@ impl RunReport {
         json_u64(&mut out, "single_additions", self.single_additions);
         out.push(',');
         json_u64(&mut out, "merges", self.merges);
+        out.push(',');
+        json_u64(&mut out, "live_repartitions", self.live_repartitions);
+        out.push(',');
+        json_u64(&mut out, "migrated_units", self.migrated_units);
+        out.push(',');
+        json_u64(&mut out, "stalled_tuples", self.stalled_tuples);
         out.push(',');
         json_f64(&mut out, "coverage", self.coverage);
         out.push(',');
