@@ -1,0 +1,22 @@
+//! End-to-end ingest throughput: the recorded perf trajectory of the
+//! per-tuple hot paths (Calculator observe, Disseminator routing, threaded
+//! topology with channel batching), each run against its own
+//! pre-optimisation baseline.
+//!
+//! Writes `BENCH_ingest.json` at the workspace root; set `INGEST_QUICK=1`
+//! for the CI smoke run.
+
+use setcorr_bench::ingest;
+
+fn main() {
+    let quick = std::env::var("INGEST_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let report = ingest::measure(quick);
+    print!("{}", report.render());
+    let root = ingest::workspace_root();
+    match ingest::write_json(&report, &root) {
+        Ok(()) => eprintln!("wrote {}", root.join("BENCH_ingest.json").display()),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+}

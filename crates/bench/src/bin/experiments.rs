@@ -15,6 +15,8 @@
 //!   theory    Section 5 analytic models
 //!   ablation  DS vs DS+SCL hybrid (the §8.3 outlook, implemented)
 //!   sketch    the §2 sketch-overhead argument, quantified
+//!   ingest    per-tuple hot-path throughput (observe / route / e2e),
+//!             recorded to BENCH_ingest.json at the workspace root
 //!   all       Everything above
 //!
 //! options:
@@ -28,8 +30,23 @@
 //! ```
 
 use setcorr_bench::harness::{self, Grid, Scale};
+use setcorr_bench::ingest;
 use setcorr_topology::RunMode;
 use std::io::Write;
+
+/// Run the ingest hot-path measurement, record `BENCH_ingest.json` at the
+/// workspace root (the perf trajectory the CI smoke job uploads), and
+/// return the rendered summary.
+fn run_ingest(quick: bool) -> String {
+    eprintln!("measuring ingest hot-path throughput (quick={quick})...");
+    let report = ingest::measure(quick);
+    let root = ingest::workspace_root();
+    match ingest::write_json(&report, &root) {
+        Ok(()) => eprintln!("wrote {}", root.join("BENCH_ingest.json").display()),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+    report.render()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +57,7 @@ fn main() {
     let target = args[0].clone();
     let mut scale = Scale::default();
     let mut out_dir = Some("results".to_string());
+    let mut quick = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -61,6 +79,7 @@ fn main() {
             "--quick" => {
                 scale.duration_secs = 120;
                 scale.fig7_minutes = 42;
+                quick = true;
             }
             "--out" => out_dir = Some(take_value(&mut i)),
             "--no-out" => out_dir = None,
@@ -101,6 +120,7 @@ fn main() {
         "fig7" => rendered.push(("fig7".into(), harness::fig7(&scale))),
         "ablation" => rendered.push(("ablation".into(), harness::ablation(&scale))),
         "sketch" => rendered.push(("sketch".into(), harness::sketch_overhead(&scale))),
+        "ingest" => rendered.push(("ingest".into(), run_ingest(quick))),
         "fig8" => {
             let (f8, _) = harness::fig8_fig9(grid.as_ref().unwrap());
             rendered.push(("fig8".into(), f8));
@@ -123,6 +143,7 @@ fn main() {
             rendered.push(("theory".into(), harness::theory()));
             rendered.push(("ablation".into(), harness::ablation(&scale)));
             rendered.push(("sketch".into(), harness::sketch_overhead(&scale)));
+            rendered.push(("ingest".into(), run_ingest(quick)));
         }
         other => {
             eprintln!("unknown target {other}");

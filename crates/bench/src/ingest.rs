@@ -1,0 +1,525 @@
+//! End-to-end ingest throughput measurement — the recorded perf trajectory.
+//!
+//! Measures the per-tuple hot paths the zero-allocation work targets:
+//!
+//! * **observe** — the full per-Calculator ingest cycle
+//!   (`Calculator::observe` + per-round `report_and_reset`) over the actual
+//!   notification streams a `Disseminator` routes, against a faithful
+//!   re-implementation of the pre-optimisation path (per-notification
+//!   subset expansion into boxed keys, per-subset inclusion–exclusion with
+//!   boxed lookups, clone-and-clear reporting), so every run records its
+//!   own before/after pair on the same machine and stream;
+//! * **route** — `Disseminator::route_into` over installed partitions (the
+//!   §3.3 routing loop);
+//! * **e2e** — the full Figure 2 topology on the threaded runtime, with and
+//!   without channel batching.
+//!
+//! The observe passes are interleaved (current, baseline, current, …) and
+//! take the best of three repetitions each, so machine noise hits both
+//! sides of the recorded ratio equally.
+//!
+//! [`IngestReport::to_json`] emits one machine-readable line per run;
+//! `experiments ingest` and the `ingest` bench write it to
+//! `BENCH_ingest.json` at the workspace root.
+
+use crate::fixtures;
+use setcorr_core::{
+    Calculator, CoefficientReport, Disseminator, DisseminatorConfig, Partition, PartitionSet,
+    QualityReference, RouteResult,
+};
+use setcorr_model::{fx, FxHashMap, Tag, TagSet, INLINE_TAGS};
+use setcorr_topology::{build_topology, ExperimentConfig, RunRecorder, THREADED_BATCH};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Notifications per Calculator per simulated report period in the observe
+/// measurement — matches the per-Calculator round volume of this repo's
+/// e2e configurations (10–20 s periods at ~1300 tps over k = 5–10).
+const REPORT_EVERY: usize = 2_000;
+
+/// Repetitions per measured observe pass (interleaved best-of).
+const REPS: usize = 3;
+
+/// One ingest-throughput measurement, serialisable to `BENCH_ingest.json`.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Notifications (per-Calculator documents) per measured observe pass.
+    pub docs: u64,
+    /// Naive subset counter updates per pass (`Σ 2^m − 1`) — the §3.1
+    /// per-notification cost the baseline pays.
+    pub subsets: u64,
+    /// Heap allocations the inline representation avoids per pass (subset
+    /// keys of ≤ [`INLINE_TAGS`] tags, each boxed by the baseline).
+    pub allocs_avoided: u64,
+    /// Pre-optimisation ingest cycle (boxed keys, per-notification
+    /// expansion, `3^m` union probes), notifications/sec.
+    pub baseline_docs_per_sec: f64,
+    /// Current ingest cycle (inline keys, deduplicated expansion, batch
+    /// subset-sum unions), notifications/sec.
+    pub docs_per_sec: f64,
+    /// `docs_per_sec / baseline_docs_per_sec`.
+    pub speedup: f64,
+    /// Current observe path, naive-equivalent subset updates/sec.
+    pub subsets_per_sec: f64,
+    /// `Disseminator::route_into` throughput, docs/sec.
+    pub route_docs_per_sec: f64,
+    /// Full threaded topology with channel batching, docs/sec.
+    pub e2e_batched_docs_per_sec: f64,
+    /// Full threaded topology without batching, docs/sec.
+    pub e2e_unbatched_docs_per_sec: f64,
+}
+
+impl IngestReport {
+    /// Machine-readable JSON (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"ingest\",\"docs\":{},\"subsets\":{},",
+                "\"allocs_avoided\":{},\"baseline_docs_per_sec\":{:.1},",
+                "\"docs_per_sec\":{:.1},\"speedup\":{:.3},",
+                "\"subsets_per_sec\":{:.1},\"route_docs_per_sec\":{:.1},",
+                "\"e2e_batched_docs_per_sec\":{:.1},",
+                "\"e2e_unbatched_docs_per_sec\":{:.1},\"batch\":{}}}"
+            ),
+            self.docs,
+            self.subsets,
+            self.allocs_avoided,
+            self.baseline_docs_per_sec,
+            self.docs_per_sec,
+            self.speedup,
+            self.subsets_per_sec,
+            self.route_docs_per_sec,
+            self.e2e_batched_docs_per_sec,
+            self.e2e_unbatched_docs_per_sec,
+            THREADED_BATCH,
+        )
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        format!(
+            concat!(
+                "ingest throughput ({} notifications, {} subset updates/pass)\n",
+                "  observe cycle (pre-opt baseline) {:>12.0} docs/s\n",
+                "  observe cycle (current)          {:>12.0} docs/s   ({:.2}x)\n",
+                "  observe subset updates           {:>12.0} subsets/s\n",
+                "  route_into                       {:>12.0} docs/s\n",
+                "  e2e threaded (unbatched)         {:>12.0} docs/s\n",
+                "  e2e threaded (batch={})          {:>12.0} docs/s\n",
+                "  heap allocs avoided/pass         {:>12}\n"
+            ),
+            self.docs,
+            self.subsets,
+            self.baseline_docs_per_sec,
+            self.docs_per_sec,
+            self.speedup,
+            self.subsets_per_sec,
+            self.route_docs_per_sec,
+            self.e2e_unbatched_docs_per_sec,
+            THREADED_BATCH,
+            self.e2e_batched_docs_per_sec,
+            self.allocs_avoided,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-optimisation reference implementation
+// ---------------------------------------------------------------------------
+
+/// The Calculator's counting state exactly as it was before the
+/// zero-allocation work: every notification expands into `2^m − 1` freshly
+/// boxed subset keys, hashed one 32-bit element per hasher round (the
+/// derived slice `Hash`), and reporting sorts borrowed keys, re-derives
+/// every union by per-subset inclusion–exclusion over boxed lookups, and
+/// clones each reported key out of the map before clearing it. Kept here so
+/// every recorded run measures its own baseline on the same machine and
+/// stream.
+#[derive(Default)]
+pub struct BoxedCalculator {
+    counters: FxHashMap<BoxedKey, u64>,
+}
+
+/// `Box<[Tag]>` key with the derived (length-prefixed, per-element) hash —
+/// the pre-optimisation `TagSet` layout and hashing.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone)]
+struct BoxedKey(Box<[Tag]>);
+
+impl Hash for BoxedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl BoxedCalculator {
+    /// Per-notification subset expansion with boxed keys (pre-opt §3.1).
+    pub fn observe(&mut self, notification: &TagSet) {
+        let tags = notification.tags();
+        if tags.is_empty() {
+            return;
+        }
+        let n = tags.len() as u32;
+        for mask in 1..(1u32 << n) {
+            // the pre-optimisation `TagSet::subset`: Vec gather, box, insert
+            let mut out = Vec::with_capacity(mask.count_ones() as usize);
+            for (i, &t) in tags.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    out.push(t);
+                }
+            }
+            *self
+                .counters
+                .entry(BoxedKey(out.into_boxed_slice()))
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn counter(&self, key: &BoxedKey) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Pre-optimisation report: sorted borrowed keys, `3^m` boxed union
+    /// probes, one key clone per reported subset, then clear.
+    pub fn report_and_reset(&mut self) -> Vec<CoefficientReport> {
+        let mut out: Vec<CoefficientReport> = Vec::new();
+        let mut keys: Vec<&BoxedKey> = self.counters.keys().filter(|t| t.0.len() >= 2).collect();
+        keys.sort_unstable();
+        for key in keys {
+            let inter = self.counters[key];
+            let mut union: i64 = 0;
+            let n = key.0.len() as u32;
+            for mask in 1..(1u32 << n) {
+                let mut sub = Vec::with_capacity(mask.count_ones() as usize);
+                for (i, &t) in key.0.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        sub.push(t);
+                    }
+                }
+                let c = self.counter(&BoxedKey(sub.into_boxed_slice())) as i64;
+                if mask.count_ones() % 2 == 1 {
+                    union += c;
+                } else {
+                    union -= c;
+                }
+            }
+            let union = (union.max(0) as u64).max(inter);
+            out.push(CoefficientReport {
+                tags: TagSet::from_sorted_unchecked(key.0.to_vec()),
+                jaccard: inter as f64 / union as f64,
+                counter: inter,
+            });
+        }
+        self.counters.clear();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement passes
+// ---------------------------------------------------------------------------
+
+/// Subset updates and avoided allocations for one notification of `m` tags.
+fn subset_stats(m: usize) -> (u64, u64) {
+    let total = (1u64 << m) - 1;
+    // subsets with more than INLINE_TAGS members still heap-allocate
+    let mut spilled = 0u64;
+    if m > INLINE_TAGS {
+        for size in (INLINE_TAGS + 1)..=m {
+            spilled += binomial(m as u64, size as u64);
+        }
+    }
+    (total, total - spilled)
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    let mut r = 1u64;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r
+}
+
+/// Route a tagged stream through a 10-partition Disseminator and return the
+/// per-Calculator notification streams — the real shape of the §3.1 input.
+fn notification_streams(tagged: &[TagSet], k: usize) -> Vec<Vec<TagSet>> {
+    let mut parts = PartitionSet {
+        parts: (0..k).map(|_| Partition::new()).collect(),
+    };
+    for ts in tagged {
+        let slot = (fx::hash_one(ts) % k as u64) as usize;
+        parts.parts[slot].absorb(ts, 1);
+    }
+    let mut dissem = Disseminator::new(k, DisseminatorConfig::default());
+    dissem.install_partitions(
+        &parts,
+        QualityReference {
+            avg_com: 10.0,
+            max_load: 1.0,
+        },
+    );
+    let mut per_calc: Vec<Vec<TagSet>> = vec![Vec::new(); k];
+    let mut result = RouteResult::default();
+    for ts in tagged {
+        dissem.route_into(ts, &mut result);
+        for (calc, subset) in result.notifications.drain(..) {
+            per_calc[calc].push(subset);
+        }
+    }
+    per_calc
+}
+
+/// One full ingest cycle over every per-Calculator stream with the current
+/// Calculator; returns elapsed seconds.
+fn pass_current(streams: &[Vec<TagSet>]) -> f64 {
+    let start = Instant::now();
+    for stream in streams {
+        let mut calc = Calculator::new();
+        for chunk in stream.chunks(REPORT_EVERY) {
+            for ts in chunk {
+                calc.observe(ts);
+            }
+            std::hint::black_box(calc.report_and_reset());
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// One full ingest cycle with the pre-optimisation baseline.
+fn pass_baseline(streams: &[Vec<TagSet>]) -> f64 {
+    let start = Instant::now();
+    for stream in streams {
+        let mut calc = BoxedCalculator::default();
+        for chunk in stream.chunks(REPORT_EVERY) {
+            for ts in chunk {
+                calc.observe(ts);
+            }
+            std::hint::black_box(calc.report_and_reset());
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Run the full ingest measurement. `quick` shrinks the stream for CI
+/// smoke runs; the recorded ratios are the same, the absolute rates noisier.
+pub fn measure(quick: bool) -> IngestReport {
+    let n_docs = if quick { 20_000 } else { 40_000 };
+    let tagged: Vec<TagSet> = fixtures::stream(11, n_docs, 1300)
+        .into_iter()
+        .filter(|d| d.is_tagged())
+        .map(|d| d.tags)
+        .collect();
+    let streams = notification_streams(&tagged, 10);
+    let docs: u64 = streams.iter().map(|s| s.len() as u64).sum();
+
+    let (mut subsets, mut allocs_avoided) = (0u64, 0u64);
+    for stream in &streams {
+        for ts in stream {
+            let (total, inline) = subset_stats(ts.len());
+            subsets += total;
+            allocs_avoided += inline;
+        }
+    }
+
+    // -- observe cycle: current vs pre-optimisation, interleaved best-of --
+    let (mut best_cur, mut best_base) = (f64::MAX, f64::MAX);
+    for _ in 0..REPS {
+        best_cur = best_cur.min(pass_current(&streams));
+        best_base = best_base.min(pass_baseline(&streams));
+    }
+    let docs_per_sec = docs as f64 / best_cur.max(1e-9);
+    let baseline_docs_per_sec = docs as f64 / best_base.max(1e-9);
+
+    // -- route_into over installed partitions ------------------------------
+    let mut parts = PartitionSet {
+        parts: (0..10).map(|_| Partition::new()).collect(),
+    };
+    for ts in &tagged {
+        let slot = (fx::hash_one(ts) % 10) as usize;
+        parts.parts[slot].absorb(ts, 1);
+    }
+    let mut best_route = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut dissem = Disseminator::new(10, DisseminatorConfig::default());
+        dissem.install_partitions(
+            &parts,
+            QualityReference {
+                avg_com: 10.0,
+                max_load: 1.0,
+            },
+        );
+        let mut result = RouteResult::default();
+        let mut notifications = 0u64;
+        for ts in &tagged {
+            dissem.route_into(ts, &mut result);
+            notifications += result.notifications.len() as u64;
+        }
+        std::hint::black_box(notifications);
+        best_route = best_route.min(start.elapsed().as_secs_f64());
+    }
+    let route_docs_per_sec = tagged.len() as f64 / best_route.max(1e-9);
+
+    // -- end-to-end threaded topology, batched vs not ----------------------
+    let e2e_n = if quick { 30_000 } else { 100_000 };
+    let e2e_docs = fixtures::stream(23, e2e_n, 1300);
+    let config = ExperimentConfig {
+        k: 5,
+        partitioners: 3,
+        bootstrap_after: 2_000,
+        report_period: setcorr_model::TimeDelta::from_secs(20),
+        window: setcorr_model::WindowKind::Time(setcorr_model::TimeDelta::from_secs(20)),
+        ..ExperimentConfig::default()
+    };
+    // Symmetric measurement: doc cloning and topology construction happen
+    // outside the timed region on both sides; only the runtime is timed.
+    let e2e_reps = if quick { 1 } else { 2 };
+    let (mut best_batched, mut best_unbatched) = (f64::MAX, f64::MAX);
+    let mut e2e_documents = 0u64;
+    for _ in 0..e2e_reps {
+        let recorder = RunRecorder::shared(config.k);
+        let topology = build_topology(
+            &config,
+            Box::new(e2e_docs.clone().into_iter()),
+            recorder.clone(),
+        );
+        let start = Instant::now();
+        let stats = setcorr_engine::run_threaded_batched(
+            topology,
+            setcorr_engine::ThreadedConfig::default(),
+            setcorr_topology::batch_policy(),
+        );
+        best_batched = best_batched.min(start.elapsed().as_secs_f64());
+        e2e_documents = stats.processed[1];
+
+        let recorder = RunRecorder::shared(config.k);
+        let topology = build_topology(
+            &config,
+            Box::new(e2e_docs.clone().into_iter()),
+            recorder.clone(),
+        );
+        let start = Instant::now();
+        std::hint::black_box(setcorr_engine::run_threaded(topology));
+        best_unbatched = best_unbatched.min(start.elapsed().as_secs_f64());
+    }
+    let e2e_batched_docs_per_sec = e2e_documents as f64 / best_batched.max(1e-9);
+    let e2e_unbatched_docs_per_sec = e2e_documents as f64 / best_unbatched.max(1e-9);
+
+    IngestReport {
+        docs,
+        subsets,
+        allocs_avoided,
+        baseline_docs_per_sec,
+        docs_per_sec,
+        speedup: docs_per_sec / baseline_docs_per_sec.max(1e-9),
+        subsets_per_sec: docs_per_sec * subsets as f64 / docs.max(1) as f64,
+        route_docs_per_sec,
+        e2e_batched_docs_per_sec,
+        e2e_unbatched_docs_per_sec,
+    }
+}
+
+/// Write `report` as `BENCH_ingest.json` into `dir` (the workspace root by
+/// convention — the recorded perf trajectory the CI smoke job uploads).
+pub fn write_json(report: &IngestReport, dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(dir.join("BENCH_ingest.json"), report.to_json() + "\n")
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[u32]) -> TagSet {
+        TagSet::from_ids(ids)
+    }
+
+    #[test]
+    fn boxed_baseline_matches_current_calculator() {
+        // the baseline must be a faithful semantic twin, or the recorded
+        // speedup would compare different work
+        let docs: Vec<TagSet> = vec![
+            ts(&[1, 2]),
+            ts(&[1, 2, 3]),
+            ts(&[2, 3]),
+            ts(&[1]),
+            ts(&[4, 5, 6, 7]),
+            ts(&[1, 2]),
+        ];
+        let mut new = Calculator::new();
+        let mut old = BoxedCalculator::default();
+        for d in &docs {
+            new.observe(d);
+            old.observe(d);
+        }
+        let a = new.report_and_reset();
+        let b = old.report_and_reset();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tags, y.tags);
+            assert_eq!(x.counter, y.counter);
+            assert!((x.jaccard - y.jaccard).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn baseline_matches_on_a_generated_stream() {
+        let tagged: Vec<TagSet> = fixtures::stream(7, 2_000, 1300)
+            .into_iter()
+            .filter(|d| d.is_tagged())
+            .map(|d| d.tags)
+            .collect();
+        let mut new = Calculator::new();
+        let mut old = BoxedCalculator::default();
+        for d in &tagged {
+            new.observe(d);
+            old.observe(d);
+        }
+        let a = new.report_and_reset();
+        let b = old.report_and_reset();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tags, y.tags);
+            assert_eq!(x.counter, y.counter);
+            assert!((x.jaccard - y.jaccard).abs() < 1e-12, "{:?}", x.tags);
+        }
+    }
+
+    #[test]
+    fn subset_stats_count_inline_and_spilled() {
+        assert_eq!(subset_stats(3), (7, 7), "all subsets of 3 tags inline");
+        let (total, inline) = subset_stats(9);
+        assert_eq!(total, 511);
+        let spilled: u64 = (INLINE_TAGS as u64 + 1..=9).map(|s| binomial(9, s)).sum();
+        assert_eq!(total - inline, spilled);
+        let (total12, inline12) = subset_stats(12);
+        assert_eq!(total12, 4095);
+        assert!(inline12 < total12);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = IngestReport {
+            docs: 10,
+            subsets: 20,
+            allocs_avoided: 15,
+            baseline_docs_per_sec: 1.0,
+            docs_per_sec: 2.5,
+            speedup: 2.5,
+            subsets_per_sec: 5.0,
+            route_docs_per_sec: 3.0,
+            e2e_batched_docs_per_sec: 4.0,
+            e2e_unbatched_docs_per_sec: 3.5,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"speedup\":2.500"));
+        assert!(j.contains("\"docs\":10"));
+    }
+}

@@ -10,3 +10,4 @@
 
 pub mod fixtures;
 pub mod harness;
+pub mod ingest;

@@ -47,6 +47,10 @@ pub enum DisseminatorAction {
 }
 
 /// Outcome of routing one tagset.
+///
+/// Designed for reuse across calls: [`Disseminator::route_into`] writes into
+/// an existing instance, so the per-tuple notification and action vectors
+/// keep their capacity instead of being reallocated per document.
 #[derive(Debug, Clone, Default)]
 pub struct RouteResult {
     /// `(Calculator, owned subset)` notifications to deliver via direct
@@ -57,6 +61,15 @@ pub struct RouteResult {
     pub covered: bool,
     /// Follow-up requests (at most one Single Addition and one repartition).
     pub actions: Vec<DisseminatorAction>,
+}
+
+impl RouteResult {
+    /// Clear the outcome for reuse, keeping the vectors' capacity.
+    pub fn reset(&mut self) {
+        self.notifications.clear();
+        self.actions.clear();
+        self.covered = false;
+    }
 }
 
 /// Routing state of the Disseminator.
@@ -150,12 +163,27 @@ impl Disseminator {
         self.unassigned_seen.remove(ts);
     }
 
-    /// Route one tagset: compute notifications, update drift statistics, and
-    /// surface any follow-up actions.
+    /// Route one tagset, allocating a fresh [`RouteResult`]. Convenience
+    /// wrapper over [`Disseminator::route_into`] — per-tuple callers should
+    /// hold a `RouteResult` and reuse it instead.
     pub fn route(&mut self, ts: &TagSet) -> RouteResult {
         let mut result = RouteResult::default();
+        self.route_into(ts, &mut result);
+        result
+    }
+
+    /// Route one tagset into a reused `result`: compute notifications,
+    /// update drift statistics, and surface any follow-up actions.
+    ///
+    /// This is the §3.3 per-tuple hot path: the per-Calculator scratch
+    /// buffers, the touched list, and `result`'s vectors are all reused
+    /// across calls, and the notification tagsets are built through the
+    /// inline representation — steady-state routing performs no heap
+    /// allocation.
+    pub fn route_into(&mut self, ts: &TagSet, result: &mut RouteResult) {
+        result.reset();
         if ts.is_empty() {
-            return result;
+            return;
         }
 
         // Gather per-Calculator owned subsets using reusable buffers.
@@ -173,13 +201,14 @@ impl Disseminator {
 
         let mut covered = false;
         for &c in &self.touched {
-            let tags = std::mem::take(&mut self.scratch[c]);
+            let tags = &mut self.scratch[c];
             if tags.len() == ts.len() {
                 covered = true;
             }
             result
                 .notifications
-                .push((c, TagSet::from_sorted_unchecked(tags)));
+                .push((c, TagSet::from_sorted_slice(tags)));
+            tags.clear();
         }
         result.covered = covered;
 
@@ -210,8 +239,6 @@ impl Disseminator {
                     .push(DisseminatorAction::RequestSingleAddition(ts.clone()));
             }
         }
-
-        result
     }
 
     /// Calculators currently owning `tag` (for tests/inspection).

@@ -23,5 +23,7 @@ pub mod threaded;
 pub mod topology;
 
 pub use sim::{run_sim, SimStats};
-pub use threaded::{run_threaded, run_threaded_with, ThreadStats, ThreadedConfig};
+pub use threaded::{
+    run_threaded, run_threaded_batched, run_threaded_with, BatchPolicy, ThreadStats, ThreadedConfig,
+};
 pub use topology::{Bolt, ComponentId, Emitter, Grouping, Spout, Topology, TopologyBuilder};

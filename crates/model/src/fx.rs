@@ -12,6 +12,7 @@
 //! [`crate::TagInterner`], which itself uses this hasher over bytes — an
 //! acceptable trade for a single-tenant analytics system).
 
+use crate::tag::Tag;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// 64-bit Fx seed; `(sqrt(5)-1)/2 * 2^64`, the golden-ratio multiplier used
@@ -32,6 +33,43 @@ impl FxHasher {
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+/// Feed a sorted tag slice into any [`Hasher`] word-at-a-time: pairs of
+/// 32-bit tag ids are packed into single `write_u64` calls (one
+/// rotate-multiply per 8 bytes on [`FxHasher`]). `TagSet::hash` routes
+/// through this, so every counter-map probe of the §3.1 hot loop gets the
+/// packed path regardless of representation.
+///
+/// Distinct slices map to distinct write sequences *given a length prefix*
+/// (an odd-length tail writes 4 bytes where a pair writes 8); callers that
+/// hash variable-length keys must `write_usize(len)` first, exactly as the
+/// std slice `Hash` impl does.
+#[inline]
+pub fn hash_tags<H: Hasher>(tags: &[Tag], state: &mut H) {
+    // specialised for the common short keys (Zipfian tags/doc: mostly ≤ 3)
+    match *tags {
+        [] => {}
+        [a] => state.write_u32(a.0),
+        [a, b] => state.write_u64(a.0 as u64 | (b.0 as u64) << 32),
+        [a, b, c] => {
+            state.write_u64(a.0 as u64 | (b.0 as u64) << 32);
+            state.write_u32(c.0);
+        }
+        [a, b, c, d] => {
+            state.write_u64(a.0 as u64 | (b.0 as u64) << 32);
+            state.write_u64(c.0 as u64 | (d.0 as u64) << 32);
+        }
+        ref longer => {
+            let mut chunks = longer.chunks_exact(2);
+            for pair in &mut chunks {
+                state.write_u64(pair[0].0 as u64 | (pair[1].0 as u64) << 32);
+            }
+            if let [last] = chunks.remainder() {
+                state.write_u32(last.0);
+            }
+        }
     }
 }
 
@@ -79,7 +117,17 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn finish(&self) -> u64 {
-        self.hash
+        // Xor-fold + multiply finalizer. A single rotate-multiply round only
+        // propagates entropy *upward* (bit `i` of a product depends on input
+        // bits `0..=i`), so without this, input bits written into the high
+        // half of a word — e.g. the second tag of a pair packed by
+        // [`hash_tags`] — would never reach the low bits hash tables use
+        // for bucket selection, colliding every key that agrees on its low
+        // half (the same failure mode as the CMS modulo-reduction bug fixed
+        // in the sketch crate).
+        let h = self.hash;
+        let h = (h ^ (h >> 32)).wrapping_mul(SEED);
+        h ^ (h >> 26)
     }
 }
 
@@ -140,6 +188,19 @@ mod tests {
     fn empty_input_hashes_to_zero_seeded_state() {
         let h = FxHasher::default();
         assert_eq!(h.finish(), 0);
+    }
+
+    #[test]
+    fn packed_tag_hashing_distinguishes_slices_of_equal_length() {
+        let mut seen = FxHashSet::default();
+        for a in 0..50u32 {
+            for b in (a + 1)..50 {
+                let mut h = FxHasher::default();
+                h.write_usize(2);
+                hash_tags(&[Tag(a), Tag(b)], &mut h);
+                assert!(seen.insert(h.finish()), "collision for [{a},{b}]");
+            }
+        }
     }
 
     #[test]

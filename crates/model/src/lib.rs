@@ -27,6 +27,6 @@ pub mod window;
 pub use doc::Document;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use tag::{Tag, TagInterner};
-pub use tagset::{TagSet, MAX_TAGS_PER_SET};
+pub use tagset::{TagSet, INLINE_TAGS, MAX_TAGS_PER_SET};
 pub use time::{TimeDelta, Timestamp};
 pub use window::{TagSetStat, TagSetWindow, WindowKind};

@@ -5,10 +5,25 @@
 //! with < 10 tags in practice), so tagsets are stored as short sorted arrays:
 //! membership is a binary search over at most a cache line, and
 //! intersection/union are linear merges.
+//!
+//! # Memory layout
+//!
+//! Because the Calculator materialises `2^m − 1` subset keys per
+//! notification (§3.1) and the Disseminator builds one owned-subset tagset
+//! per notified Calculator (§3.3), tagset construction sits on the per-tuple
+//! hot path of the whole system. Sets of up to [`INLINE_TAGS`] tags are
+//! therefore stored *inline* (a fixed array + length, no heap pointer) —
+//! virtually every tagset in practice, since the tags-per-document
+//! distribution is Zipfian with most documents carrying ≤ 3 tags. Longer
+//! sets (up to [`MAX_TAGS_PER_SET`]) spill to a boxed slice. The two
+//! representations are observably identical: `Eq`, `Ord`, and `Hash` are
+//! implemented over the logical tag slice, never over the representation.
 
-use crate::fx::FxHashSet;
+use crate::fx::{hash_tags, FxHashSet};
 use crate::tag::Tag;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Maximum number of tags a single tagset may carry.
 ///
@@ -17,14 +32,30 @@ use std::fmt;
 /// bound of < 10 tags per tweet. Parsers must truncate anything longer.
 pub const MAX_TAGS_PER_SET: usize = 16;
 
+/// Sets of at most this many tags are stored inline (no heap allocation).
+///
+/// Chosen to cover effectively the whole tags-per-document distribution
+/// (Zipfian, mostly ≤ 3 tags) while keeping `TagSet` small enough to move
+/// cheaply through hash-map keys and channel messages.
+pub const INLINE_TAGS: usize = 5;
+
+/// Small-set-optimised storage: short sets live in a fixed inline array,
+/// long ones in a boxed slice. Never exposed; all observable behaviour goes
+/// through the logical `tags()` slice.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, tags: [Tag; INLINE_TAGS] },
+    Heap(Box<[Tag]>),
+}
+
 /// An immutable, sorted, duplicate-free set of tags.
 ///
 /// Ordering: `TagSet`s compare lexicographically by their sorted tag ids,
 /// which gives a deterministic total order used for reproducible tie-breaking
 /// in the partitioning algorithms.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct TagSet {
-    tags: Box<[Tag]>,
+    repr: Repr,
 }
 
 impl TagSet {
@@ -34,9 +65,7 @@ impl TagSet {
         tags.sort_unstable();
         tags.dedup();
         tags.truncate(MAX_TAGS_PER_SET);
-        TagSet {
-            tags: tags.into_boxed_slice(),
-        }
+        Self::from_sorted_unchecked(tags)
     }
 
     /// Build from a slice of raw tag ids (test/bench convenience).
@@ -45,60 +74,120 @@ impl TagSet {
     }
 
     /// Build from tags that are already sorted, unique, and within the size
-    /// cap. Validated in debug builds.
+    /// cap. Validated in debug builds. Consumes the `Vec` in place when the
+    /// set spills to the heap representation.
     pub fn from_sorted_unchecked(tags: Vec<Tag>) -> Self {
+        if tags.len() <= INLINE_TAGS {
+            Self::from_sorted_slice(&tags)
+        } else {
+            debug_assert!(tags.len() <= MAX_TAGS_PER_SET);
+            debug_assert!(
+                tags.windows(2).all(|w| w[0] < w[1]),
+                "must be sorted+unique"
+            );
+            TagSet {
+                repr: Repr::Heap(tags.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Build from a *borrowed* slice of sorted, unique tags without
+    /// consuming a `Vec` — the zero-allocation entry point used by scratch
+    /// buffers on the routing and counting hot paths. Validated in debug
+    /// builds.
+    #[inline]
+    pub fn from_sorted_slice(tags: &[Tag]) -> Self {
         debug_assert!(tags.len() <= MAX_TAGS_PER_SET);
         debug_assert!(
             tags.windows(2).all(|w| w[0] < w[1]),
             "must be sorted+unique"
         );
-        TagSet {
-            tags: tags.into_boxed_slice(),
+        if tags.len() <= INLINE_TAGS {
+            let mut inline = [Tag(0); INLINE_TAGS];
+            inline[..tags.len()].copy_from_slice(tags);
+            TagSet {
+                repr: Repr::Inline {
+                    len: tags.len() as u8,
+                    tags: inline,
+                },
+            }
+        } else {
+            TagSet {
+                repr: Repr::Heap(tags.to_vec().into_boxed_slice()),
+            }
         }
     }
 
     /// The empty tagset (documents without hashtags).
     pub fn empty() -> Self {
-        TagSet { tags: Box::new([]) }
+        Self::from_sorted_slice(&[])
+    }
+
+    /// True iff this set is stored in the inline (allocation-free)
+    /// representation. Diagnostic only — the representations are observably
+    /// identical; the ingest benchmarks use this to count avoided
+    /// allocations.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// Rebuild this set in the heap representation regardless of length.
+    ///
+    /// Exists so property tests can pit the two representations against
+    /// each other; production code never needs it (the representation is a
+    /// pure function of the length).
+    #[doc(hidden)]
+    pub fn with_forced_heap_repr(&self) -> Self {
+        TagSet {
+            repr: Repr::Heap(self.tags().to_vec().into_boxed_slice()),
+        }
     }
 
     /// Number of tags.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tags.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(tags) => tags.len(),
+        }
     }
 
     /// True for documents without tags.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tags.is_empty()
+        self.len() == 0
     }
 
     /// Sorted tags as a slice.
     #[inline]
     pub fn tags(&self) -> &[Tag] {
-        &self.tags
+        match &self.repr {
+            Repr::Inline { len, tags } => &tags[..*len as usize],
+            Repr::Heap(tags) => tags,
+        }
     }
 
     /// Iterate tags in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = Tag> + '_ {
-        self.tags.iter().copied()
+        self.tags().iter().copied()
     }
 
     /// Membership test (binary search; sets are tiny).
     #[inline]
     pub fn contains(&self, tag: Tag) -> bool {
-        self.tags.binary_search(&tag).is_ok()
+        self.tags().binary_search(&tag).is_ok()
     }
 
     /// `|self ∩ other|` via linear merge.
     pub fn intersection_len(&self, other: &TagSet) -> usize {
+        let (a, b) = (self.tags(), other.tags());
         let (mut i, mut j, mut n) = (0, 0, 0);
-        while i < self.tags.len() && j < other.tags.len() {
-            match self.tags[i].cmp(&other.tags[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
                     n += 1;
                     i += 1;
                     j += 1;
@@ -116,12 +205,13 @@ impl TagSet {
     /// True iff the sets share at least one tag (i.e. there is an edge
     /// between their vertices in the tagset graph of §4).
     pub fn intersects(&self, other: &TagSet) -> bool {
+        let (a, b) = (self.tags(), other.tags());
         let (mut i, mut j) = (0, 0);
-        while i < self.tags.len() && j < other.tags.len() {
-            match self.tags[i].cmp(&other.tags[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => return true,
             }
         }
         false
@@ -132,15 +222,16 @@ impl TagSet {
         if self.len() > other.len() {
             return false;
         }
+        let (a, b) = (self.tags(), other.tags());
         let (mut i, mut j) = (0, 0);
-        while i < self.tags.len() {
-            if j >= other.tags.len() {
+        while i < a.len() {
+            if j >= b.len() {
                 return false;
             }
-            match self.tags[i].cmp(&other.tags[j]) {
-                std::cmp::Ordering::Less => return false,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => return false,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
                     i += 1;
                     j += 1;
                 }
@@ -152,12 +243,12 @@ impl TagSet {
     /// True iff every tag of `self` is a member of the hash set `cover`.
     /// Used for the coverage test `s_i ⊆ pr_j` against partition tag sets.
     pub fn is_covered_by(&self, cover: &FxHashSet<Tag>) -> bool {
-        self.tags.iter().all(|t| cover.contains(t))
+        self.tags().iter().all(|t| cover.contains(t))
     }
 
     /// Number of tags of `self` already present in `cover` (`|s_j ∩ CV|`).
     pub fn covered_count(&self, cover: &FxHashSet<Tag>) -> usize {
-        self.tags.iter().filter(|t| cover.contains(t)).count()
+        self.tags().iter().filter(|t| cover.contains(t)).count()
     }
 
     /// Number of tags of `self` *not* present in `cover` (`|s_j \ CV|`).
@@ -167,53 +258,64 @@ impl TagSet {
 
     /// `self ∩ other` as a new tagset.
     pub fn intersection(&self, other: &TagSet) -> TagSet {
-        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let mut buf = [Tag(0); MAX_TAGS_PER_SET];
+        let mut n = 0;
+        let (a, b) = (self.tags(), other.tags());
         let (mut i, mut j) = (0, 0);
-        while i < self.tags.len() && j < other.tags.len() {
-            match self.tags[i].cmp(&other.tags[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(self.tags[i]);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    buf[n] = a[i];
+                    n += 1;
                     i += 1;
                     j += 1;
                 }
             }
         }
-        TagSet::from_sorted_unchecked(out)
+        TagSet::from_sorted_slice(&buf[..n])
     }
 
-    /// `self ∪ other` as a new tagset (caller must keep within the size cap).
+    /// `self ∪ other` as a new tagset (truncated to the size cap).
     pub fn union(&self, other: &TagSet) -> TagSet {
         let mut out = Vec::with_capacity(self.len() + other.len());
+        let (a, b) = (self.tags(), other.tags());
         let (mut i, mut j) = (0, 0);
-        while i < self.tags.len() && j < other.tags.len() {
-            match self.tags[i].cmp(&other.tags[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(self.tags[i]);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => {
+                    out.push(a[i]);
                     i += 1;
                 }
-                std::cmp::Ordering::Greater => {
-                    out.push(other.tags[j]);
+                Ordering::Greater => {
+                    out.push(b[j]);
                     j += 1;
                 }
-                std::cmp::Ordering::Equal => {
-                    out.push(self.tags[i]);
+                Ordering::Equal => {
+                    out.push(a[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.tags[i..]);
-        out.extend_from_slice(&other.tags[j..]);
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
         TagSet::new(out)
     }
 
     /// The subset of `self` whose tags satisfy `keep` (e.g. "tags assigned to
     /// Calculator j" when the Disseminator builds notification payloads).
     pub fn filter(&self, mut keep: impl FnMut(Tag) -> bool) -> TagSet {
-        let out: Vec<Tag> = self.tags.iter().copied().filter(|&t| keep(t)).collect();
-        TagSet::from_sorted_unchecked(out)
+        let mut buf = [Tag(0); MAX_TAGS_PER_SET];
+        let mut n = 0;
+        for &t in self.tags() {
+            if keep(t) {
+                buf[n] = t;
+                n += 1;
+            }
+        }
+        TagSet::from_sorted_slice(&buf[..n])
     }
 
     /// Enumerate all non-empty subsets of this tagset as bitmasks over
@@ -223,20 +325,90 @@ impl TagSet {
     /// The iterator yields `2^len − 1` masks; `len` is capped by
     /// [`MAX_TAGS_PER_SET`].
     pub fn subset_masks(&self) -> impl Iterator<Item = u32> {
-        let n = self.tags.len() as u32;
+        let n = self.len() as u32;
         1..(1u32 << n)
     }
 
     /// Materialise the subset encoded by `mask` (as produced by
     /// [`TagSet::subset_masks`]).
+    ///
+    /// Allocation-free for results of up to [`INLINE_TAGS`] tags: the subset
+    /// is gathered straight into the inline representation. This is the
+    /// §3.1 counting hot path — `2^m − 1` calls per notification.
+    #[inline]
     pub fn subset(&self, mask: u32) -> TagSet {
-        let mut out = Vec::with_capacity(mask.count_ones() as usize);
-        for (i, &t) in self.tags.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                out.push(t);
+        let tags = self.tags();
+        if mask.count_ones() as usize <= INLINE_TAGS {
+            let mut inline = [Tag(0); INLINE_TAGS];
+            let mut n = 0u8;
+            // iterate set bits only: subsets are mostly far smaller than
+            // the set itself
+            let mut m = mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                if i >= tags.len() {
+                    break;
+                }
+                inline[n as usize] = tags[i];
+                n += 1;
+                m &= m - 1;
             }
+            TagSet {
+                repr: Repr::Inline {
+                    len: n,
+                    tags: inline,
+                },
+            }
+        } else {
+            let mut buf = [Tag(0); MAX_TAGS_PER_SET];
+            let mut n = 0;
+            let mut m = mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                if i >= tags.len() {
+                    break;
+                }
+                buf[n] = tags[i];
+                n += 1;
+                m &= m - 1;
+            }
+            TagSet::from_sorted_slice(&buf[..n])
         }
-        TagSet::from_sorted_unchecked(out)
+    }
+}
+
+impl PartialEq for TagSet {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.tags() == other.tags()
+    }
+}
+
+impl Eq for TagSet {}
+
+impl PartialOrd for TagSet {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TagSet {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.tags().cmp(other.tags())
+    }
+}
+
+impl Hash for TagSet {
+    /// Hashes the logical tag slice (representation-independent) through the
+    /// word-packed fast path of [`crate::fx::hash_tags`]: counter-map probes
+    /// consume 8 bytes per hasher round instead of 4.
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let tags = self.tags();
+        state.write_usize(tags.len());
+        hash_tags(tags, state);
     }
 }
 
@@ -253,13 +425,13 @@ fn fmt_tagset(tags: &[Tag], f: &mut fmt::Formatter<'_>) -> fmt::Result {
 
 impl fmt::Debug for TagSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_tagset(&self.tags, f)
+        fmt_tagset(self.tags(), f)
     }
 }
 
 impl fmt::Display for TagSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_tagset(&self.tags, f)
+        fmt_tagset(self.tags(), f)
     }
 }
 
@@ -267,7 +439,7 @@ impl<'a> IntoIterator for &'a TagSet {
     type Item = Tag;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, Tag>>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tags.iter().copied()
+        self.tags().iter().copied()
     }
 }
 
@@ -306,6 +478,25 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
         assert!(TagSet::empty().is_empty());
+    }
+
+    #[test]
+    fn small_sets_are_inline_large_sets_spill() {
+        let small: Vec<u32> = (0..INLINE_TAGS as u32).collect();
+        assert!(TagSet::from_ids(&small).is_inline());
+        let large: Vec<u32> = (0..INLINE_TAGS as u32 + 1).collect();
+        assert!(!TagSet::from_ids(&large).is_inline());
+        assert!(TagSet::empty().is_inline());
+    }
+
+    #[test]
+    fn forced_heap_repr_is_observably_identical() {
+        let a = ts(&[1, 2, 3]);
+        let b = a.with_forced_heap_repr();
+        assert!(a.is_inline() && !b.is_inline());
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(crate::fx::hash_one(&a), crate::fx::hash_one(&b));
     }
 
     #[test]
@@ -352,6 +543,19 @@ mod tests {
     }
 
     #[test]
+    fn set_algebra_across_the_inline_boundary() {
+        let big: Vec<u32> = (0..12).collect();
+        let a = TagSet::from_ids(&big);
+        assert!(!a.is_inline());
+        let b = ts(&[0, 1, 2, 20]);
+        assert_eq!(a.intersection(&b), ts(&[0, 1, 2]));
+        assert!(a.intersection(&b).is_inline());
+        let u = a.union(&b);
+        assert_eq!(u.len(), 13);
+        assert!(!u.is_inline());
+    }
+
+    #[test]
     fn filter_projects_assigned_tags() {
         let s = ts(&[1, 2, 3, 4]);
         let owned = s.filter(|t| t.0 % 2 == 0);
@@ -369,6 +573,19 @@ mod tests {
         // all distinct
         let uniq: std::collections::BTreeSet<_> = subsets.iter().cloned().collect();
         assert_eq!(uniq.len(), 7);
+    }
+
+    #[test]
+    fn subsets_of_a_heap_set_work_and_stay_inline_when_small() {
+        let ids: Vec<u32> = (0..12).collect();
+        let s = TagSet::from_ids(&ids);
+        assert!(!s.is_inline());
+        let sub = s.subset(0b101);
+        assert_eq!(sub, ts(&[0, 2]));
+        assert!(sub.is_inline());
+        let full = s.subset((1u32 << 12) - 1);
+        assert_eq!(full, s);
+        assert!(!full.is_inline());
     }
 
     #[test]

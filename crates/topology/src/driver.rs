@@ -10,7 +10,10 @@ use crate::recorder::{RunRecorder, SharedRecorder};
 use crate::report::RunReport;
 use setcorr_approx::{ApproxCalculator, ApproxParams};
 use setcorr_core::{AlgorithmKind, Calculator, CorrelationBackend, DisseminatorConfig};
-use setcorr_engine::{run_sim, run_threaded, Bolt, Grouping, Spout, Topology, TopologyBuilder};
+use setcorr_engine::{
+    run_sim, run_threaded_batched, BatchPolicy, Bolt, Grouping, Spout, ThreadedConfig, Topology,
+    TopologyBuilder,
+};
 use setcorr_model::{fx, Document, TimeDelta, WindowKind};
 use std::sync::Arc;
 
@@ -306,6 +309,20 @@ pub fn build_topology(
     tb.build()
 }
 
+/// Messages accumulated per channel batch on the threaded runtime. Chosen
+/// well below the inbox capacity so backpressure still engages, while
+/// cutting per-tuple channel operations by the same factor.
+pub const THREADED_BATCH: usize = 32;
+
+/// The channel-batching policy the experiment driver runs the threaded
+/// runtime with: per-tuple traffic ([`Msg::is_batchable`]) batches up to
+/// [`THREADED_BATCH`] deep; ticks, fences and all control traffic act as
+/// flush barriers, preserving round completeness and the §7.2 fence /
+/// migration-barrier semantics.
+pub fn batch_policy() -> BatchPolicy<Msg> {
+    BatchPolicy::new(THREADED_BATCH, |m: &Msg| !m.is_batchable())
+}
+
 /// Run one experiment over a boxed document stream.
 pub fn run(
     config: &ExperimentConfig,
@@ -320,7 +337,7 @@ pub fn run(
             stats.processed[1] // parser input = documents
         }
         RunMode::Threaded => {
-            let stats = run_threaded(topology);
+            let stats = run_threaded_batched(topology, ThreadedConfig::default(), batch_policy());
             stats.processed[1]
         }
     };

@@ -24,7 +24,10 @@ pub mod recorder;
 pub mod report;
 
 pub use connectivity::{connectivity, ConnectivitySummary};
-pub use driver::{build_topology, run, run_docs, BackendKind, ExperimentConfig, RunMode};
+pub use driver::{
+    batch_policy, build_topology, run, run_docs, BackendKind, ExperimentConfig, RunMode,
+    THREADED_BATCH,
+};
 pub use messages::Msg;
 pub use recorder::{RunRecorder, SharedRecorder};
 pub use report::{RunReport, BASELINE_MIN_SIGHTINGS, WARMUP_ROUNDS};

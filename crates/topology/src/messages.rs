@@ -115,9 +115,69 @@ pub enum Msg {
     },
 }
 
+impl Msg {
+    /// True for the high-volume per-tuple messages that the threaded
+    /// runtime may accumulate into channel batches (documents, parsed
+    /// tagsets, notifications). Everything else — ticks, fences,
+    /// repartition/addition control traffic, migration bundles, reports —
+    /// is a flush *barrier*: its FIFO position relative to the data
+    /// messages before it is load-bearing (round completeness, the §7.2
+    /// epoch fence, the migration barrier), or its latency bounds a control
+    /// loop, so it travels unbatched and flushes pending buffers first.
+    pub fn is_batchable(&self) -> bool {
+        matches!(
+            self,
+            Msg::Doc(_) | Msg::TagSet { .. } | Msg::Notification { .. }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batchable_is_exactly_the_per_tuple_traffic() {
+        assert!(Msg::Doc(Document::new(0, Timestamp(0), TagSet::empty())).is_batchable());
+        assert!(Msg::TagSet {
+            time: Timestamp(0),
+            tags: TagSet::from_ids(&[1]),
+        }
+        .is_batchable());
+        assert!(Msg::Notification {
+            doc: 0,
+            tags: TagSet::from_ids(&[1]),
+        }
+        .is_batchable());
+        // barriers: everything that cuts rounds or drives control loops
+        assert!(!Msg::Tick {
+            round: 0,
+            time: Timestamp(0),
+        }
+        .is_batchable());
+        assert!(!Msg::Fence {
+            epoch: 0,
+            partitions: Arc::new(PartitionSet::empty(1)),
+        }
+        .is_batchable());
+        assert!(!Msg::RepartitionRequest {
+            epoch: 0,
+            cause: None,
+        }
+        .is_batchable());
+        assert!(!Msg::Adopt {
+            epoch: 0,
+            from: 0,
+            bundle: Arc::new(MigrationBundle::default()),
+        }
+        .is_batchable());
+        assert!(!Msg::CalcReport {
+            round: 0,
+            calc: 0,
+            reports: Arc::new(Vec::new()),
+        }
+        .is_batchable());
+    }
 
     #[test]
     fn messages_are_cheap_to_clone() {

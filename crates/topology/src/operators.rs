@@ -314,8 +314,23 @@ pub struct DisseminatorBolt {
     sample_every: u64,
     sample: Sample,
     unrouted: u64,
+    /// Stream messages held between the bootstrap repartition request and
+    /// the first partition install, replayed in FIFO order once routing is
+    /// possible — the control round-trip costs latency, not coverage.
+    /// Admission of tagsets stops at [`BOOTSTRAP_BUFFER_CAP`] buffered
+    /// messages (further arrivals count as unrouted, the pre-buffering
+    /// behaviour); ticks are always admitted so their order relative to
+    /// the held tagsets is preserved.
+    bootstrap_buffer: std::collections::VecDeque<Msg>,
+    /// Per-tuple routing outcome, reused across calls so the notification
+    /// and action vectors keep their capacity (zero-allocation hot path).
+    route_scratch: setcorr_core::RouteResult,
     recorder: SharedRecorder,
 }
+
+/// Most stream messages the Disseminator will hold while the bootstrap
+/// partitions are being computed (the §6.2 control round-trip).
+const BOOTSTRAP_BUFFER_CAP: usize = 65_536;
 
 impl DisseminatorBolt {
     /// Disseminator for `k` Calculators living at component `calc_component`.
@@ -347,6 +362,8 @@ impl DisseminatorBolt {
                 ..Default::default()
             },
             unrouted: 0,
+            bootstrap_buffer: std::collections::VecDeque::new(),
+            route_scratch: setcorr_core::RouteResult::default(),
             recorder,
         }
     }
@@ -390,10 +407,9 @@ impl DisseminatorBolt {
 impl Bolt<Msg> for DisseminatorBolt {
     fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
         match msg {
-            Msg::TagSet { tags, .. } => {
+            Msg::TagSet { time, tags } => {
                 self.seen_tagsets += 1;
                 if !self.dissem.has_partitions() {
-                    self.unrouted += 1;
                     if !self.bootstrap_requested && self.seen_tagsets >= self.bootstrap_after {
                         self.bootstrap_requested = true;
                         out.emit(
@@ -404,58 +420,29 @@ impl Bolt<Msg> for DisseminatorBolt {
                             },
                         );
                     }
+                    // Between the bootstrap request and the first install,
+                    // hold the stream instead of wasting it: the control
+                    // round-trip costs latency, not coverage. (Pre-request
+                    // traffic stays unrouted: there is nothing to wait for.)
+                    if self.bootstrap_requested
+                        && self.bootstrap_buffer.len() < BOOTSTRAP_BUFFER_CAP
+                    {
+                        self.bootstrap_buffer.push_back(Msg::TagSet { time, tags });
+                    } else {
+                        self.unrouted += 1;
+                    }
                     return;
                 }
-                let doc = self.doc_seq;
-                self.doc_seq += 1;
-                let result = self.dissem.route(&tags);
-                if result.notifications.is_empty() {
-                    self.unrouted += 1;
-                } else {
-                    self.lifetime_routed += 1;
-                    self.sample.routed += 1;
-                    self.sample.notifications += result.notifications.len() as u64;
-                    for (calc, subset) in result.notifications {
-                        self.sample.per_calc[calc] += 1;
-                        out.emit_direct(
-                            "notifs",
-                            self.calc_component,
-                            calc,
-                            Msg::Notification { doc, tags: subset },
-                        );
-                    }
-                    if self.sample.routed >= self.sample_every {
-                        self.flush_sample();
-                    }
-                }
-                for action in result.actions {
-                    match action {
-                        DisseminatorAction::RequestSingleAddition(ts) => {
-                            out.emit("addreq", Msg::AdditionRequest { tags: ts });
-                        }
-                        DisseminatorAction::RequestRepartition(cause) => {
-                            self.recorder
-                                .lock()
-                                .repartitions
-                                .push((self.lifetime_routed, cause));
-                            let epoch = self.epoch;
-                            self.epoch += 1;
-                            out.emit(
-                                "repart",
-                                Msg::RepartitionRequest {
-                                    epoch,
-                                    cause: Some(cause),
-                                },
-                            );
-                        }
-                    }
-                }
+                self.route_tagset(tags, out);
             }
             Msg::Tick { round, time } => {
-                self.flush_sample();
-                // Relay through our Calculator channels so every notification
-                // of the round is delivered first.
-                out.emit("calcticks", Msg::Tick { round, time });
+                if self.bootstrap_requested && !self.dissem.has_partitions() {
+                    // keep FIFO order with the buffered tagsets (ticks are
+                    // rare; the cap applies to tagsets only)
+                    self.bootstrap_buffer.push_back(Msg::Tick { round, time });
+                    return;
+                }
+                self.relay_tick(round, time, out);
             }
             Msg::NewPartitions {
                 epoch,
@@ -484,6 +471,15 @@ impl Bolt<Msg> for DisseminatorBolt {
                         },
                     );
                 }
+                // Replay the stream held during bootstrap, in FIFO order,
+                // under the freshly installed map.
+                while let Some(held) = self.bootstrap_buffer.pop_front() {
+                    match held {
+                        Msg::TagSet { tags, .. } => self.route_tagset(tags, out),
+                        Msg::Tick { round, time } => self.relay_tick(round, time, out),
+                        _ => unreachable!("only stream messages are buffered"),
+                    }
+                }
             }
             Msg::AdditionResponse { tags, calc } => {
                 self.dissem.apply_single_addition(&tags, calc);
@@ -492,8 +488,78 @@ impl Bolt<Msg> for DisseminatorBolt {
         }
     }
 
-    fn on_flush(&mut self, _out: &mut dyn Emitter<Msg>) {
+    fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
+        // Stream ended before the bootstrap answer: degrade the held
+        // tagsets to unrouted and let the held ticks close their rounds.
+        while let Some(held) = self.bootstrap_buffer.pop_front() {
+            match held {
+                Msg::TagSet { .. } => self.unrouted += 1,
+                Msg::Tick { round, time } => self.relay_tick(round, time, out),
+                _ => {}
+            }
+        }
         self.flush_sample();
+    }
+}
+
+impl DisseminatorBolt {
+    /// Route one live tagset: the §3.3 per-tuple hot path.
+    fn route_tagset(&mut self, tags: TagSet, out: &mut dyn Emitter<Msg>) {
+        {
+            let doc = self.doc_seq;
+            self.doc_seq += 1;
+            let result = &mut self.route_scratch;
+            self.dissem.route_into(&tags, result);
+            if result.notifications.is_empty() {
+                self.unrouted += 1;
+            } else {
+                self.lifetime_routed += 1;
+                self.sample.routed += 1;
+                self.sample.notifications += result.notifications.len() as u64;
+                for (calc, subset) in result.notifications.drain(..) {
+                    self.sample.per_calc[calc] += 1;
+                    out.emit_direct(
+                        "notifs",
+                        self.calc_component,
+                        calc,
+                        Msg::Notification { doc, tags: subset },
+                    );
+                }
+                if self.sample.routed >= self.sample_every {
+                    self.flush_sample();
+                }
+            }
+            for action in self.route_scratch.actions.drain(..) {
+                match action {
+                    DisseminatorAction::RequestSingleAddition(ts) => {
+                        out.emit("addreq", Msg::AdditionRequest { tags: ts });
+                    }
+                    DisseminatorAction::RequestRepartition(cause) => {
+                        self.recorder
+                            .lock()
+                            .repartitions
+                            .push((self.lifetime_routed, cause));
+                        let epoch = self.epoch;
+                        self.epoch += 1;
+                        out.emit(
+                            "repart",
+                            Msg::RepartitionRequest {
+                                epoch,
+                                cause: Some(cause),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Close a report period: flush chart samples and relay the tick
+    /// through our Calculator channels so every notification of the round
+    /// is delivered first.
+    fn relay_tick(&mut self, round: u64, time: Timestamp, out: &mut dyn Emitter<Msg>) {
+        self.flush_sample();
+        out.emit("calcticks", Msg::Tick { round, time });
     }
 }
 
@@ -1033,6 +1099,10 @@ mod tests {
             matches!(cap.emitted[0].1, Msg::RepartitionRequest { epoch: 0, .. }),
             "bootstrap request"
         );
+        assert!(
+            cap.direct.is_empty(),
+            "the requesting tagset is held, not routed"
+        );
         // install partitions: calc0 ← {1,2}, calc1 ← {3}
         let mut ps = setcorr_core::PartitionSet::empty(2);
         ps.parts[0].absorb(&ts(&[1, 2]), 1);
@@ -1048,14 +1118,21 @@ mod tests {
             },
             &mut cap,
         );
+        // the install replays the held tagset under the fresh map
+        assert_eq!(cap.direct.len(), 1, "held tagset routed at install");
         send(&mut d, &mut cap, &[1, 2]);
-        assert_eq!(cap.direct.len(), 1);
-        let (stream, to, task, ref msg) = cap.direct[0];
-        assert_eq!((stream, to, task), ("notifs", 9, 0));
-        assert!(matches!(msg, Msg::Notification { .. }));
+        assert_eq!(cap.direct.len(), 2);
+        for (stream, to, task, msg) in &cap.direct {
+            assert_eq!((*stream, *to, *task), ("notifs", 9, 0));
+            assert!(matches!(msg, Msg::Notification { .. }));
+        }
         d.on_flush(&mut cap);
-        assert_eq!(recorder.lock().routed_tagsets, 1);
-        assert_eq!(recorder.lock().unrouted_tagsets, 2);
+        assert_eq!(recorder.lock().routed_tagsets, 2);
+        assert_eq!(
+            recorder.lock().unrouted_tagsets,
+            1,
+            "only pre-request traffic is wasted"
+        );
     }
 
     #[test]

@@ -47,9 +47,14 @@ fn full_rate_streams_use_all_calculators() {
     // 10 s windows at 1300 tps = 13 000 docs → 13000/1300 = 10 active.
     // Bootstrap after a full window: k_active is sized from the window the
     // merge actually sees (a cold bootstrap sizes conservatively and stays
-    // there until quality drifts — §7.3 scaling is merge-driven).
+    // there until quality drifts — §7.3 scaling is merge-driven). The
+    // bootstrap window is still partial, so reaching the full pool needs a
+    // follow-up drift-triggered merge; `thr` is set below the default so
+    // that merge fires on the stream's drift itself rather than on routing
+    // luck (which tagset lands on which Partitioner's window).
     let mut cfg = config(Some(1_300));
     cfg.bootstrap_after = 7_000; // ≈ tagged docs of one full window
+    cfg.thr = 0.3;
     let report = run_docs(&cfg, docs, RunMode::Sim);
     assert!(
         active_calcs(&report) >= 8,

@@ -167,7 +167,10 @@ fn threaded_runtime_agrees_on_stream_invariants() {
     assert!(threaded.routed_tagsets > 0);
     assert!(threaded.avg_communication >= 1.0);
     assert!(threaded.coverage > 0.80, "coverage {}", threaded.coverage);
-    // routed volume should be in the same ballpark (bootstrap timing varies)
+    // Routed volume should be in the same ballpark: the Disseminator holds
+    // the stream between the bootstrap request and the first install
+    // (bounded buffer, replayed in FIFO order), so the control round-trip
+    // costs latency, not routed volume — on either runtime.
     let ratio = threaded.routed_tagsets as f64 / sim.routed_tagsets as f64;
     assert!(
         (0.5..=1.5).contains(&ratio),
