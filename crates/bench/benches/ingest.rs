@@ -3,8 +3,8 @@
 //! topology with channel batching), each run against its own
 //! pre-optimisation baseline.
 //!
-//! Writes `BENCH_ingest.json` at the workspace root; set `INGEST_QUICK=1`
-//! for the CI smoke run.
+//! Appends a run record (git rev + mode) to `BENCH_ingest.json` at the
+//! workspace root; set `INGEST_QUICK=1` for the CI smoke run.
 
 use setcorr_bench::ingest;
 
@@ -16,7 +16,7 @@ fn main() {
     print!("{}", report.render());
     let root = ingest::workspace_root();
     match ingest::write_json(&report, &root) {
-        Ok(()) => eprintln!("wrote {}", root.join("BENCH_ingest.json").display()),
+        Ok(()) => eprintln!("appended to {}", root.join("BENCH_ingest.json").display()),
         Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
     }
 }

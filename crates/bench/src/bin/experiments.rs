@@ -34,15 +34,20 @@ use setcorr_bench::ingest;
 use setcorr_topology::RunMode;
 use std::io::Write;
 
-/// Run the ingest hot-path measurement, record `BENCH_ingest.json` at the
-/// workspace root (the perf trajectory the CI smoke job uploads), and
-/// return the rendered summary.
+/// Run the ingest hot-path measurement, append a run record (git rev +
+/// mode) to `BENCH_ingest.json` at the workspace root (the perf trajectory
+/// the CI smoke job uploads and diffs), and return the rendered summary.
 fn run_ingest(quick: bool) -> String {
     eprintln!("measuring ingest hot-path throughput (quick={quick})...");
     let report = ingest::measure(quick);
     let root = ingest::workspace_root();
     match ingest::write_json(&report, &root) {
-        Ok(()) => eprintln!("wrote {}", root.join("BENCH_ingest.json").display()),
+        Ok(()) => eprintln!(
+            "appended run record ({}, {}) to {}",
+            report.git_rev,
+            report.mode,
+            root.join("BENCH_ingest.json").display()
+        ),
         Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
     }
     report.render()

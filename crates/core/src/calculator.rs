@@ -87,16 +87,38 @@ impl Calculator {
     /// are stored inline (see [`setcorr_model::INLINE_TAGS`]), so the whole
     /// path is allocation-free for realistic notifications.
     pub fn observe(&mut self, notification: &TagSet) {
-        if notification.is_empty() {
+        self.observe_n(notification, 1);
+    }
+
+    /// Ingest `n` identical notifications at once — the count-weighted
+    /// [`Calculator::observe`] behind vectorized (batch-at-a-time) operator
+    /// execution. Because the per-round state is the *distinct*-set count
+    /// map, `n` sightings cost exactly one map update, and every observable
+    /// result equals `n` separate `observe` calls.
+    pub fn observe_n(&mut self, notification: &TagSet, n: u64) {
+        if notification.is_empty() || n == 0 {
             return;
         }
-        self.received += 1;
+        self.received += n;
         let state = self.state.get_mut();
         if let Some(c) = state.pending.get_mut(notification) {
-            *c += 1;
+            *c += n;
         } else {
-            state.pending.insert(notification.clone(), 1);
+            state.pending.insert(notification.clone(), n);
         }
+    }
+
+    /// Clear all round state *without* computing coefficients — the cheap
+    /// alternative to [`Calculator::report_and_reset`] for callers that
+    /// already queried what they need (e.g. the centralized baseline, which
+    /// reports only the round's input tagsets: deriving a report for every
+    /// tracked subset just to throw it away cost more than the queries).
+    pub fn reset(&mut self) {
+        self.received = 0;
+        let state = self.state.get_mut();
+        state.counters.clear();
+        state.pending.clear();
+        state.parents.clear();
     }
 
     /// Number of distinct subset counters currently tracked.

@@ -37,18 +37,25 @@ impl Tracker {
     }
 
     /// Ingest one Calculator report for report-round `round`.
-    pub fn observe(&mut self, round: u64, report: CoefficientReport) {
-        let entry = self
-            .rounds
-            .entry(round)
-            .or_default()
-            .entry(report.tags)
-            .or_insert((report.jaccard, report.counter, 0));
-        entry.2 += 1;
-        // keep the max-CN coefficient
-        if report.counter > entry.1 {
-            entry.0 = report.jaccard;
-            entry.1 = report.counter;
+    ///
+    /// Takes the report by reference: reports fan out from shared
+    /// (`Arc`-held) per-round vectors, and deduplication only needs to
+    /// *read* them — the tagset key is cloned once, for the first reporter
+    /// of a round, instead of copying every report.
+    pub fn observe(&mut self, round: u64, report: &CoefficientReport) {
+        let entries = self.rounds.entry(round).or_default();
+        match entries.get_mut(&report.tags) {
+            Some(entry) => {
+                entry.2 += 1;
+                // keep the max-CN coefficient
+                if report.counter > entry.1 {
+                    entry.0 = report.jaccard;
+                    entry.1 = report.counter;
+                }
+            }
+            None => {
+                entries.insert(report.tags.clone(), (report.jaccard, report.counter, 1));
+            }
         }
     }
 
@@ -105,9 +112,9 @@ mod tests {
     #[test]
     fn keeps_max_counter_report() {
         let mut t = Tracker::new();
-        t.observe(0, report(&[1, 2], 0.4, 10));
-        t.observe(0, report(&[1, 2], 0.9, 3)); // younger duplicate loses
-        t.observe(0, report(&[1, 2], 0.5, 12)); // older data wins
+        t.observe(0, &report(&[1, 2], 0.4, 10));
+        t.observe(0, &report(&[1, 2], 0.9, 3)); // younger duplicate loses
+        t.observe(0, &report(&[1, 2], 0.5, 12)); // older data wins
         let out = t.finish_round(0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].jaccard, 0.5);
@@ -118,8 +125,8 @@ mod tests {
     #[test]
     fn rounds_are_independent() {
         let mut t = Tracker::new();
-        t.observe(0, report(&[1, 2], 0.4, 10));
-        t.observe(1, report(&[1, 2], 0.8, 2));
+        t.observe(0, &report(&[1, 2], 0.4, 10));
+        t.observe(1, &report(&[1, 2], 0.8, 2));
         assert_eq!(t.open_rounds(), 2);
         let r0 = t.finish_round(0);
         assert_eq!(r0[0].jaccard, 0.4);
@@ -138,9 +145,9 @@ mod tests {
     #[test]
     fn output_is_sorted() {
         let mut t = Tracker::new();
-        t.observe(0, report(&[5, 6], 0.1, 1));
-        t.observe(0, report(&[1, 2], 0.2, 1));
-        t.observe(0, report(&[3, 4], 0.3, 1));
+        t.observe(0, &report(&[5, 6], 0.1, 1));
+        t.observe(0, &report(&[1, 2], 0.2, 1));
+        t.observe(0, &report(&[3, 4], 0.3, 1));
         let out = t.finish_round(0);
         let sets: Vec<TagSet> = out.into_iter().map(|c| c.tags).collect();
         assert_eq!(
@@ -156,8 +163,8 @@ mod tests {
     #[test]
     fn equal_counters_keep_first() {
         let mut t = Tracker::new();
-        t.observe(0, report(&[1, 2], 0.4, 5));
-        t.observe(0, report(&[1, 2], 0.6, 5));
+        t.observe(0, &report(&[1, 2], 0.4, 5));
+        t.observe(0, &report(&[1, 2], 0.6, 5));
         let out = t.finish_round(0);
         assert_eq!(out[0].jaccard, 0.4, "strictly-greater CN replaces");
     }

@@ -22,7 +22,7 @@ pub mod sim;
 pub mod threaded;
 pub mod topology;
 
-pub use sim::{run_sim, SimStats};
+pub use sim::{run_sim, run_sim_batched, SimStats};
 pub use threaded::{
     run_threaded, run_threaded_batched, run_threaded_with, BatchPolicy, ThreadStats, ThreadedConfig,
 };

@@ -9,7 +9,18 @@
 //! On exhaustion of all spouts the engine *flushes*: components are visited
 //! in declaration order, each task's [`Bolt::on_flush`](crate::topology::Bolt::on_flush) runs and the queue is
 //! drained before moving on, so downstream flushes observe upstream finals.
+//!
+//! # Batched delivery
+//!
+//! [`run_sim_batched`] coalesces *consecutive* queue entries addressed to
+//! the same task into one [`Bolt::on_batch`](crate::topology::Bolt::on_batch) call (stopping at the policy's
+//! barrier messages and at `max_batch`), so the deterministic oracle
+//! exercises the same vectorized operator path as the threaded runtime.
+//! Because only already-adjacent messages are grouped, delivery order is
+//! exactly that of [`run_sim`] — with semantically equivalent `on_batch`
+//! overrides (the trait contract), results are byte-identical.
 
+use crate::threaded::BatchPolicy;
 use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};
 use std::collections::VecDeque;
 
@@ -96,8 +107,26 @@ impl<M: Clone> Emitter<M> for SimEmitter<'_, M> {
     }
 }
 
-/// Run `topology` to completion in simulation mode.
-pub fn run_sim<M: Clone + 'static>(mut topology: Topology<M>) -> SimStats {
+/// Run `topology` to completion in simulation mode (per-tuple delivery).
+pub fn run_sim<M: Clone + 'static>(topology: Topology<M>) -> SimStats {
+    run_sim_inner(topology, None)
+}
+
+/// Run `topology` in simulation mode with batched delivery: consecutive
+/// same-destination messages the `policy` marks batchable are handed to the
+/// bolt as one [`Bolt::on_batch`](crate::topology::Bolt::on_batch) call (see the module docs — delivery
+/// order, and therefore every result, is identical to [`run_sim`]).
+pub fn run_sim_batched<M: Clone + 'static>(
+    topology: Topology<M>,
+    policy: BatchPolicy<M>,
+) -> SimStats {
+    run_sim_inner(topology, Some(policy))
+}
+
+fn run_sim_inner<M: Clone + 'static>(
+    mut topology: Topology<M>,
+    policy: Option<BatchPolicy<M>>,
+) -> SimStats {
     let n = topology.components.len();
     let parallelism: Vec<usize> = topology.components.iter().map(|c| c.parallelism).collect();
 
@@ -148,23 +177,50 @@ pub fn run_sim<M: Clone + 'static>(mut topology: Topology<M>) -> SimStats {
         emitted: vec![0; n],
     };
 
-    // Drains the queue to empty, dispatching to bolts.
+    // Drains the queue to empty, dispatching to bolts. With a batch policy,
+    // consecutive entries for the same task whose messages are batchable
+    // coalesce into one `on_batch` delivery (order is untouched: only
+    // already-adjacent messages group).
     macro_rules! drain {
         () => {
             while let Some((c, t, msg)) = queue.pop_front() {
                 let Some(bolt) = bolts[c][t].as_mut() else {
                     continue;
                 };
-                stats.processed[c] += 1;
-                let mut emitter = SimEmitter {
-                    routing: &routing,
-                    queue: &mut queue,
-                    shuffle_counters: &mut shuffle_counters,
-                    edge_base: edge_base[c],
-                    from: c,
-                    emitted: &mut stats.emitted[c],
-                };
-                bolt.on_message(msg, &mut emitter);
+                let batchable = policy.as_ref().is_some_and(|p| !(p.barrier)(&msg));
+                if batchable {
+                    let p = policy.as_ref().expect("checked above");
+                    let mut batch = vec![msg];
+                    while batch.len() < p.max_batch {
+                        match queue.front() {
+                            Some((c2, t2, m2)) if *c2 == c && *t2 == t && !(p.barrier)(m2) => {
+                                batch.push(queue.pop_front().expect("front exists").2);
+                            }
+                            _ => break,
+                        }
+                    }
+                    stats.processed[c] += batch.len() as u64;
+                    let mut emitter = SimEmitter {
+                        routing: &routing,
+                        queue: &mut queue,
+                        shuffle_counters: &mut shuffle_counters,
+                        edge_base: edge_base[c],
+                        from: c,
+                        emitted: &mut stats.emitted[c],
+                    };
+                    bolt.on_batch(batch, &mut emitter);
+                } else {
+                    stats.processed[c] += 1;
+                    let mut emitter = SimEmitter {
+                        routing: &routing,
+                        queue: &mut queue,
+                        shuffle_counters: &mut shuffle_counters,
+                        edge_base: edge_base[c],
+                        from: c,
+                        emitted: &mut stats.emitted[c],
+                    };
+                    bolt.on_message(msg, &mut emitter);
+                }
             }
         };
     }

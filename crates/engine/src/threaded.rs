@@ -37,6 +37,7 @@ use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Per-run statistics of a threaded execution.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +46,13 @@ pub struct ThreadStats {
     pub processed: Vec<u64>,
     /// Data messages emitted per component.
     pub emitted: Vec<u64>,
+    /// Wall-clock seconds spent inside each component's operator callbacks
+    /// (`on_message`/`on_batch`/`on_flush`, spout production loops), summed
+    /// over its tasks. Includes time blocked on downstream backpressure
+    /// inside an emit — this is *attribution* of wall time, not pure CPU
+    /// time, so the per-operator shares of a run sum to roughly
+    /// `tasks × elapsed` on an idle machine.
+    pub busy_seconds: Vec<f64>,
 }
 
 /// Tunables of the threaded runtime.
@@ -168,6 +176,81 @@ fn dispatch<M>(
     let _ = sender.send(Envelope::Data(msg));
 }
 
+/// Deliver a whole batch to one destination: full batches bypass the
+/// buffer as one envelope; partial ones append to it (one `extend`, no
+/// per-message dispatch), flushing first if they would overflow it. Keeps
+/// the channel-operation count of the buffered path while skipping its
+/// per-message barrier checks and pushes.
+fn dispatch_batch<M>(
+    batching: &mut Option<Batching<M>>,
+    slot: usize,
+    sender: &Sender<Envelope<M>>,
+    mut msgs: Vec<M>,
+) {
+    if slot != UNBATCHED {
+        if let Some(b) = batching {
+            let dest = &mut b.bufs[slot];
+            if !dest.buf.is_empty() && dest.buf.len() + msgs.len() > b.max_batch {
+                let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
+                let _ = dest.sender.send(Envelope::Batch(batch));
+            }
+            if msgs.len() >= b.max_batch {
+                let _ = dest.sender.send(Envelope::Batch(msgs));
+            } else {
+                dest.buf.append(&mut msgs);
+                if dest.buf.len() >= b.max_batch {
+                    let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
+                    let _ = dest.sender.send(Envelope::Batch(batch));
+                }
+            }
+            return;
+        }
+    }
+    let _ = sender.send(Envelope::Batch(msgs));
+}
+
+/// Route one message over one non-direct edge, honouring per-destination
+/// batching — the shared per-message path of [`Emitter::emit`] and the
+/// spread-grouping arm of [`Emitter::emit_batch`].
+fn route_one<M: Clone>(
+    e: &EdgeRt<M>,
+    edge_slots: Option<&Vec<usize>>,
+    counter: &mut usize,
+    batching: &mut Option<Batching<M>>,
+    emitted: &mut u64,
+    msg: &M,
+    barrier: bool,
+) {
+    let p = e.senders.len();
+    let task = match &e.grouping {
+        Grouping::Shuffle => {
+            let t = *counter % p;
+            *counter += 1;
+            t
+        }
+        Grouping::Global => 0,
+        Grouping::Fields(f) => (f(msg) % p as u64) as usize,
+        Grouping::All => {
+            for (task, s) in e.senders.iter().enumerate() {
+                let slot = edge_slots
+                    .and_then(|sl| sl.get(task))
+                    .copied()
+                    .unwrap_or(UNBATCHED);
+                dispatch(batching, slot, s, msg.clone(), !barrier);
+                *emitted += 1;
+            }
+            return;
+        }
+        Grouping::Direct => unreachable!("filtered by callers"),
+    };
+    let slot = edge_slots
+        .and_then(|sl| sl.get(task))
+        .copied()
+        .unwrap_or(UNBATCHED);
+    dispatch(batching, slot, &e.senders[task], msg.clone(), !barrier);
+    *emitted += 1;
+}
+
 /// Slot marker for destinations that never batch (feedback edges).
 const UNBATCHED: usize = usize::MAX;
 
@@ -248,64 +331,139 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
         if barrier {
             flush_all_batches(&mut self.batching);
         }
-        for (i, e) in self.edges.iter().enumerate() {
+        let ThreadedEmitter {
+            edges,
+            slots,
+            batching,
+            shuffle_counters,
+            emitted,
+        } = self;
+        for (i, e) in edges.iter().enumerate() {
             if e.stream != stream || matches!(e.grouping, Grouping::Direct) {
                 continue;
             }
-            let p = e.senders.len();
-            match &e.grouping {
-                Grouping::Shuffle => {
-                    let task = self.shuffle_counters[i] % p;
-                    self.shuffle_counters[i] += 1;
-                    let slot = self.slots.get(i).and_then(|s| s.get(task)).copied();
-                    dispatch(
-                        &mut self.batching,
-                        slot.unwrap_or(UNBATCHED),
-                        &e.senders[task],
-                        msg.clone(),
-                        !barrier,
+            route_one(
+                e,
+                slots.get(i),
+                &mut shuffle_counters[i],
+                batching,
+                emitted,
+                &msg,
+                barrier,
+            );
+        }
+    }
+
+    fn emit_batch(&mut self, stream: &'static str, msgs: Vec<M>) {
+        if msgs.is_empty() {
+            return;
+        }
+        // The fast path requires every message to be batchable; callers
+        // only pass per-tuple data, but fall back rather than trust them.
+        let fallback = match &self.batching {
+            Some(b) => msgs.iter().any(|m| (b.barrier)(m)),
+            None => true, // unbatched runtime: keep per-message envelopes
+        };
+        if fallback {
+            for m in msgs {
+                self.emit(stream, m);
+            }
+            return;
+        }
+        let ThreadedEmitter {
+            edges,
+            slots,
+            batching,
+            shuffle_counters,
+            emitted,
+        } = self;
+        let matching: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.stream == stream && !matches!(e.grouping, Grouping::Direct))
+            .map(|(i, _)| i)
+            .collect();
+        let mut remaining = Some(msgs);
+        for (pos, &i) in matching.iter().enumerate() {
+            let e = &edges[i];
+            let last = pos + 1 == matching.len();
+            // Destinations resolving to one consumer task take the whole
+            // batch without per-message re-buffering; spread groupings
+            // (fields, all, parallel shuffle) dispatch per message.
+            let single = matches!(e.grouping, Grouping::Global)
+                || (matches!(e.grouping, Grouping::Shuffle) && e.senders.len() == 1);
+            if single {
+                let batch = if last {
+                    remaining.take().expect("taken only for the last edge")
+                } else {
+                    remaining.as_ref().expect("present until last").clone()
+                };
+                if matches!(e.grouping, Grouping::Shuffle) {
+                    shuffle_counters[i] += batch.len();
+                }
+                *emitted += batch.len() as u64;
+                let slot = slots
+                    .get(i)
+                    .and_then(|s| s.first())
+                    .copied()
+                    .unwrap_or(UNBATCHED);
+                dispatch_batch(batching, slot, &e.senders[0], batch);
+            } else {
+                for m in remaining.as_ref().expect("present until last").iter() {
+                    route_one(
+                        e,
+                        slots.get(i),
+                        &mut shuffle_counters[i],
+                        batching,
+                        emitted,
+                        m,
+                        false,
                     );
-                    self.emitted += 1;
                 }
-                Grouping::Global => {
-                    let slot = self.slots.get(i).and_then(|s| s.first()).copied();
-                    dispatch(
-                        &mut self.batching,
-                        slot.unwrap_or(UNBATCHED),
-                        &e.senders[0],
-                        msg.clone(),
-                        !barrier,
-                    );
-                    self.emitted += 1;
+                if last {
+                    remaining = None;
                 }
-                Grouping::All => {
-                    for (task, s) in e.senders.iter().enumerate() {
-                        let slot = self.slots.get(i).and_then(|sl| sl.get(task)).copied();
-                        dispatch(
-                            &mut self.batching,
-                            slot.unwrap_or(UNBATCHED),
-                            s,
-                            msg.clone(),
-                            !barrier,
-                        );
-                        self.emitted += 1;
-                    }
-                }
-                Grouping::Fields(f) => {
-                    let task = (f(&msg) % p as u64) as usize;
-                    let slot = self.slots.get(i).and_then(|s| s.get(task)).copied();
-                    dispatch(
-                        &mut self.batching,
-                        slot.unwrap_or(UNBATCHED),
-                        &e.senders[task],
-                        msg.clone(),
-                        !barrier,
-                    );
-                    self.emitted += 1;
-                }
-                Grouping::Direct => unreachable!("filtered above"),
             }
         }
+    }
+
+    fn emit_direct_batch(
+        &mut self,
+        stream: &'static str,
+        to: ComponentId,
+        task: usize,
+        msgs: Vec<M>,
+    ) {
+        if msgs.is_empty() {
+            return;
+        }
+        let fallback = match &self.batching {
+            Some(b) => msgs.iter().any(|m| (b.barrier)(m)),
+            None => false, // direct batches are fine unbatched: one envelope
+        };
+        if fallback {
+            for m in msgs {
+                self.emit_direct(stream, to, task, m);
+            }
+            return;
+        }
+        let edge_idx = self
+            .edges
+            .iter()
+            .position(|e| {
+                e.stream == stream && e.to == to && matches!(e.grouping, Grouping::Direct)
+            })
+            .unwrap_or_else(|| {
+                panic!("emit_direct_batch on undeclared Direct edge :{stream} -> {to}")
+            });
+        self.emitted += msgs.len() as u64;
+        let slot = self.slot(edge_idx, task);
+        dispatch_batch(
+            &mut self.batching,
+            slot,
+            &self.edges[edge_idx].senders[task],
+            msgs,
+        );
     }
 
     fn emit_direct(&mut self, stream: &'static str, to: ComponentId, task: usize, msg: M) {
@@ -448,7 +606,7 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
     // producer threads finish.
     drop(senders);
 
-    let mut handles: Vec<thread::JoinHandle<(ComponentId, u64, u64)>> = Vec::new();
+    let mut handles: Vec<thread::JoinHandle<(ComponentId, u64, u64, f64)>> = Vec::new();
     for (c, spec) in topology.components.iter_mut().enumerate() {
         let parallelism = spec.parallelism;
         match &mut spec.kind {
@@ -460,6 +618,7 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                     handles.push(thread::spawn(move || {
                         let mut emitter = ThreadedEmitter::new(edges, t, policy.as_ref());
                         let mut produced = 0u64;
+                        let start = Instant::now();
                         while let Some(msg) = spout.next() {
                             produced += 1;
                             // spouts use their single declared stream
@@ -470,8 +629,9 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                             );
                             emitter.emit(stream, msg);
                         }
+                        let busy = start.elapsed().as_secs_f64();
                         emitter.send_eos();
-                        (c, produced, emitter.emitted)
+                        (c, produced, emitter.emitted, busy)
                     }));
                 }
             }
@@ -486,6 +646,7 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                     handles.push(thread::spawn(move || {
                         let mut emitter = ThreadedEmitter::new(edges, t, policy.as_ref());
                         let mut processed = 0u64;
+                        let mut busy = std::time::Duration::ZERO;
                         let mut eos_seen = 0usize;
                         let mut data_rx = data_rx;
                         let mut ctl_rx = ctl_rx;
@@ -509,13 +670,15 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                                 recv(data_rx) -> m => match m {
                                     Ok(Envelope::Data(msg)) => {
                                         processed += 1;
+                                        let t0 = Instant::now();
                                         bolt.on_message(msg, &mut emitter);
+                                        busy += t0.elapsed();
                                     }
                                     Ok(Envelope::Batch(msgs)) => {
-                                        for msg in msgs {
-                                            processed += 1;
-                                            bolt.on_message(msg, &mut emitter);
-                                        }
+                                        processed += msgs.len() as u64;
+                                        let t0 = Instant::now();
+                                        bolt.on_batch(msgs, &mut emitter);
+                                        busy += t0.elapsed();
                                     }
                                     Ok(Envelope::Eos) => eos_seen += 1,
                                     // park the disconnected side so the
@@ -528,13 +691,15 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                                 recv(ctl_rx) -> m => match m {
                                     Ok(Envelope::Data(msg)) => {
                                         processed += 1;
+                                        let t0 = Instant::now();
                                         bolt.on_message(msg, &mut emitter);
+                                        busy += t0.elapsed();
                                     }
                                     Ok(Envelope::Batch(msgs)) => {
-                                        for msg in msgs {
-                                            processed += 1;
-                                            bolt.on_message(msg, &mut emitter);
-                                        }
+                                        processed += msgs.len() as u64;
+                                        let t0 = Instant::now();
+                                        bolt.on_batch(msgs, &mut emitter);
+                                        busy += t0.elapsed();
                                     }
                                     Ok(Envelope::Eos) => {}
                                     Err(_) => {
@@ -545,9 +710,11 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                             }
                         }
                         drop((data_rx, ctl_rx));
+                        let t0 = Instant::now();
                         bolt.on_flush(&mut emitter);
+                        busy += t0.elapsed();
                         emitter.send_eos();
-                        (c, processed, emitter.emitted)
+                        (c, processed, emitter.emitted, busy.as_secs_f64())
                     }));
                 }
             }
@@ -557,11 +724,13 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
     let mut stats = ThreadStats {
         processed: vec![0; n],
         emitted: vec![0; n],
+        busy_seconds: vec![0.0; n],
     };
     for h in handles {
-        let (c, processed, emitted) = h.join().expect("task thread panicked");
+        let (c, processed, emitted, busy) = h.join().expect("task thread panicked");
         stats.processed[c] += processed;
         stats.emitted[c] += emitted;
+        stats.busy_seconds[c] += busy;
     }
     stats
 }

@@ -48,6 +48,19 @@ pub trait Bolt<M>: Send {
     /// Handle one incoming message, emitting any number of messages.
     fn on_message(&mut self, msg: M, out: &mut dyn Emitter<M>);
 
+    /// Handle a batch of incoming messages as one unit (vectorized
+    /// execution). Both runtimes deliver batch envelopes through this hook;
+    /// the default simply loops over [`Bolt::on_message`], so implementing
+    /// it is an optimisation, never a semantic choice: an override **must**
+    /// be observably equivalent to the per-message loop, for any mix of
+    /// messages (the runtimes only batch per-tuple data, but tests may
+    /// deliver control messages mid-batch).
+    fn on_batch(&mut self, msgs: Vec<M>, out: &mut dyn Emitter<M>) {
+        for msg in msgs {
+            self.on_message(msg, out);
+        }
+    }
+
     /// Called once when every (non-feedback) upstream producer has finished;
     /// a chance to emit final results. Default: nothing.
     fn on_flush(&mut self, out: &mut dyn Emitter<M>) {
@@ -81,6 +94,34 @@ pub trait Emitter<M> {
     /// Emit to one specific task of `to`, over a [`Grouping::Direct`] edge on
     /// `stream`. Panics if no such edge was declared.
     fn emit_direct(&mut self, stream: &'static str, to: ComponentId, task: usize, msg: M);
+
+    /// Emit a batch of messages onto `stream` as one unit. Semantically
+    /// identical to emitting each message in order; runtimes override it to
+    /// skip per-message re-buffering where the destination resolves to a
+    /// single consumer task. Callers should only pass per-tuple data
+    /// messages (no barriers) — a runtime that cannot prove that falls back
+    /// to the per-message path.
+    fn emit_batch(&mut self, stream: &'static str, msgs: Vec<M>) {
+        for msg in msgs {
+            self.emit(stream, msg);
+        }
+    }
+
+    /// Emit a batch of messages to one specific task of `to` over a
+    /// [`Grouping::Direct`] edge — the vectorized [`Emitter::emit_direct`].
+    /// Order within the batch is preserved, as is the FIFO position of the
+    /// batch relative to everything emitted before it.
+    fn emit_direct_batch(
+        &mut self,
+        stream: &'static str,
+        to: ComponentId,
+        task: usize,
+        msgs: Vec<M>,
+    ) {
+        for msg in msgs {
+            self.emit_direct(stream, to, task, msg);
+        }
+    }
 }
 
 /// How tuples of one edge spread over the consumer's tasks.

@@ -85,6 +85,39 @@ impl Bolt<Msg> for ParserBolt {
         }
     }
 
+    /// Vectorized path: one `emit_batch` of tagsets per document batch.
+    /// Ticks are rare (one per report period); when one cuts the batch, the
+    /// tagsets gathered so far flush *first* so the tick keeps its FIFO
+    /// position behind the round it closes.
+    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        let mut tagsets: Vec<Msg> = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            let Msg::Doc(doc) = msg else { continue };
+            while doc.timestamp.millis() >= (self.round + 1) * self.report_period.millis() {
+                if !tagsets.is_empty() {
+                    out.emit_batch("tagsets", std::mem::take(&mut tagsets));
+                }
+                out.emit(
+                    "ticks",
+                    Msg::Tick {
+                        round: self.round,
+                        time: Timestamp((self.round + 1) * self.report_period.millis()),
+                    },
+                );
+                self.round += 1;
+            }
+            if !doc.tags.is_empty() {
+                tagsets.push(Msg::TagSet {
+                    time: doc.timestamp,
+                    tags: doc.tags,
+                });
+            }
+        }
+        if !tagsets.is_empty() {
+            out.emit_batch("tagsets", tagsets);
+        }
+    }
+
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
         // Close the final partial round.
         out.emit(
@@ -177,6 +210,18 @@ impl Bolt<Msg> for PartitionerBolt {
                 );
             }
             _ => {}
+        }
+    }
+
+    /// Vectorized path: window inserts straight off the batch, one dispatch
+    /// for the whole envelope. Control messages (repartition requests are
+    /// barriers and normally arrive alone) fall through to `on_message`.
+    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs {
+            match msg {
+                Msg::TagSet { time, tags } => self.window.insert(tags, time),
+                other => self.on_message(other, out),
+            }
         }
     }
 }
@@ -325,6 +370,10 @@ pub struct DisseminatorBolt {
     /// Per-tuple routing outcome, reused across calls so the notification
     /// and action vectors keep their capacity (zero-allocation hot path).
     route_scratch: setcorr_core::RouteResult,
+    /// Per-Calculator notification buffers of the vectorized path: one
+    /// whole incoming batch routes into these, then leaves as one
+    /// `emit_direct_batch` per touched Calculator.
+    notif_batch: Vec<Vec<Msg>>,
     recorder: SharedRecorder,
 }
 
@@ -364,6 +413,7 @@ impl DisseminatorBolt {
             unrouted: 0,
             bootstrap_buffer: std::collections::VecDeque::new(),
             route_scratch: setcorr_core::RouteResult::default(),
+            notif_batch: (0..k).map(|_| Vec::new()).collect(),
             recorder,
         }
     }
@@ -488,6 +538,33 @@ impl Bolt<Msg> for DisseminatorBolt {
         }
     }
 
+    /// Vectorized path: a whole batch routes with the reused
+    /// [`setcorr_core::RouteResult`], its notifications group per
+    /// destination Calculator, and each group leaves as one
+    /// [`Emitter::emit_direct_batch`] envelope. Non-tagset messages
+    /// (possible only in hand-built batches — the runtimes treat them as
+    /// barriers) first flush the groups, so per-Calculator order is
+    /// identical to per-tuple delivery.
+    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs {
+            match msg {
+                Msg::TagSet { time, tags } => {
+                    if self.dissem.has_partitions() {
+                        self.route_tagset_inner(tags, out, true);
+                    } else {
+                        // bootstrap: the per-message path owns the hold/replay
+                        self.on_message(Msg::TagSet { time, tags }, out);
+                    }
+                }
+                other => {
+                    self.flush_notif_batch(out);
+                    self.on_message(other, out);
+                }
+            }
+        }
+        self.flush_notif_batch(out);
+    }
+
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
         // Stream ended before the bootstrap answer: degrade the held
         // tagsets to unrouted and let the held ticks close their rounds.
@@ -505,6 +582,15 @@ impl Bolt<Msg> for DisseminatorBolt {
 impl DisseminatorBolt {
     /// Route one live tagset: the §3.3 per-tuple hot path.
     fn route_tagset(&mut self, tags: TagSet, out: &mut dyn Emitter<Msg>) {
+        self.route_tagset_inner(tags, out, false);
+    }
+
+    /// Route one tagset, delivering notifications either directly
+    /// (`batched = false`) or into the per-Calculator batch buffers
+    /// (`batched = true`; [`Self::flush_notif_batch`] sends them). Both
+    /// modes produce identical per-Calculator message sequences — only the
+    /// envelope granularity differs.
+    fn route_tagset_inner(&mut self, tags: TagSet, out: &mut dyn Emitter<Msg>, batched: bool) {
         {
             let doc = self.doc_seq;
             self.doc_seq += 1;
@@ -518,12 +604,12 @@ impl DisseminatorBolt {
                 self.sample.notifications += result.notifications.len() as u64;
                 for (calc, subset) in result.notifications.drain(..) {
                     self.sample.per_calc[calc] += 1;
-                    out.emit_direct(
-                        "notifs",
-                        self.calc_component,
-                        calc,
-                        Msg::Notification { doc, tags: subset },
-                    );
+                    let msg = Msg::Notification { doc, tags: subset };
+                    if batched {
+                        self.notif_batch[calc].push(msg);
+                    } else {
+                        out.emit_direct("notifs", self.calc_component, calc, msg);
+                    }
                 }
                 if self.sample.routed >= self.sample_every {
                     self.flush_sample();
@@ -550,6 +636,19 @@ impl DisseminatorBolt {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// Send every non-empty per-Calculator buffer as one batch envelope.
+    /// Called at the end of a vectorized batch, and before any non-tagset
+    /// message is handled mid-batch, so per-Calculator FIFO order matches
+    /// per-tuple delivery exactly.
+    fn flush_notif_batch(&mut self, out: &mut dyn Emitter<Msg>) {
+        for calc in 0..self.notif_batch.len() {
+            if !self.notif_batch[calc].is_empty() {
+                let batch = std::mem::take(&mut self.notif_batch[calc]);
+                out.emit_direct_batch("notifs", self.calc_component, calc, batch);
             }
         }
     }
@@ -607,6 +706,11 @@ pub struct CalculatorBolt {
     /// complete — the migrated pre-fence state lands before the tick that
     /// reports it.
     pending: std::collections::VecDeque<Msg>,
+    /// Scratch of the vectorized path: per-batch occurrence counts of
+    /// identical notification tagsets, drained into the backend via
+    /// count-weighted [`CorrelationBackend::observe_n`] calls. Reused
+    /// across batches (drain keeps capacity).
+    batch_counts: FxHashMap<TagSet, u64>,
     recorder: Option<SharedRecorder>,
 }
 
@@ -631,6 +735,7 @@ impl CalculatorBolt {
             adopts: 0,
             early_adopts: Vec::new(),
             pending: std::collections::VecDeque::new(),
+            batch_counts: FxHashMap::default(),
             recorder: None,
         }
     }
@@ -755,6 +860,14 @@ impl CalculatorBolt {
             self.handle_data(msg, out);
         }
     }
+
+    /// Feed the batch-aggregated counts into the backend: one
+    /// count-weighted observe per *distinct* tagset of the batch.
+    fn flush_batch_counts(&mut self) {
+        for (tags, n) in self.batch_counts.drain() {
+            self.calc.observe_n(&tags, n);
+        }
+    }
 }
 
 impl Bolt<Msg> for CalculatorBolt {
@@ -784,6 +897,41 @@ impl Bolt<Msg> for CalculatorBolt {
                 }
             }
         }
+    }
+
+    /// Vectorized path for count-insensitive backends: identical
+    /// notification tagsets within the batch pre-aggregate into one
+    /// count-weighted [`CorrelationBackend::observe_n`] per distinct set —
+    /// with PR 3's distinct-set counter, a single map bump each. Doc-id-
+    /// sensitive backends (MinHash), open migration barriers, and any
+    /// non-notification message fall back to the per-message protocol path
+    /// (flushing the aggregate first, so ticks and fences always see the
+    /// evidence that preceded them).
+    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        if !self.calc.count_weighted() {
+            for msg in msgs {
+                self.on_message(msg, out);
+            }
+            return;
+        }
+        for msg in msgs {
+            if self.awaiting_adopts() {
+                // barrier opened mid-batch: the aggregate was flushed before
+                // the fence was handled; the rest buffers per message
+                self.on_message(msg, out);
+                continue;
+            }
+            match msg {
+                Msg::Notification { tags, .. } => {
+                    *self.batch_counts.entry(tags).or_insert(0) += 1;
+                }
+                other => {
+                    self.flush_batch_counts();
+                    self.on_message(other, out);
+                }
+            }
+        }
+        self.flush_batch_counts();
     }
 
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
@@ -846,8 +994,10 @@ impl Bolt<Msg> for TrackerBolt {
         let Msg::CalcReport { round, reports, .. } = msg else {
             return;
         };
+        // reports stay behind their Arc: deduplication reads them in place
+        // instead of cloning per-round state once per observe
         for report in reports.iter() {
-            self.tracker.observe(round, report.clone());
+            self.tracker.observe(round, report);
         }
         let seen = self.received.entry(round).or_insert(0);
         *seen += 1;
@@ -898,16 +1048,20 @@ impl BaselineBolt {
     }
 }
 
+impl BaselineBolt {
+    fn observe_tagset(&mut self, tags: TagSet, n: u64) {
+        if tags.len() >= 2 {
+            *self.round_occurrences.entry(tags.clone()).or_insert(0) += n;
+            *self.run_occurrences.entry(tags.clone()).or_insert(0) += n;
+        }
+        self.calc.observe_n(&tags, n);
+    }
+}
+
 impl Bolt<Msg> for BaselineBolt {
     fn on_message(&mut self, msg: Msg, _out: &mut dyn Emitter<Msg>) {
         match msg {
-            Msg::TagSet { tags, .. } => {
-                if tags.len() >= 2 {
-                    *self.round_occurrences.entry(tags.clone()).or_insert(0) += 1;
-                    *self.run_occurrences.entry(tags.clone()).or_insert(0) += 1;
-                }
-                self.calc.observe(&tags);
-            }
+            Msg::TagSet { tags, .. } => self.observe_tagset(tags, 1),
             Msg::Tick { round, .. } => {
                 let mut reports: Vec<setcorr_core::CoefficientReport> = Vec::new();
                 for (tags, &n) in &self.round_occurrences {
@@ -923,10 +1077,25 @@ impl Bolt<Msg> for BaselineBolt {
                 }
                 reports.sort_unstable_by(|a, b| a.tags.cmp(&b.tags));
                 self.recorder.lock().baseline_rounds.insert(round, reports);
-                self.calc.report_and_reset();
+                // the round's coefficients were just queried directly —
+                // clear the counters without deriving a report for every
+                // tracked subset only to discard it
+                self.calc.reset();
                 self.round_occurrences.clear();
             }
             _ => {}
+        }
+    }
+
+    /// Vectorized path: tagsets straight off the batch, one dispatch per
+    /// envelope (ticks arrive unbatched and close the round via
+    /// `on_message`).
+    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs {
+            match msg {
+                Msg::TagSet { tags, .. } => self.observe_tagset(tags, 1),
+                other => self.on_message(other, out),
+            }
         }
     }
 
@@ -1396,6 +1565,228 @@ mod tests {
             reports[0].counter, 3,
             "2 migrated + 1 stalled-then-replayed"
         );
+    }
+
+    #[test]
+    fn parser_on_batch_matches_per_message_across_round_cuts() {
+        // A batch of documents straddling two round boundaries: the
+        // vectorized parser must emit exactly the per-message stream —
+        // every tick in its FIFO position behind the tagsets of the round
+        // it closes (Capture's default emit_batch unrolls, so the logs
+        // compare 1:1).
+        let docs: Vec<Msg> = [
+            (1_000, &[1, 2][..]),
+            (5_000, &[3]),
+            (12_000, &[][..]),
+            (25_000, &[4, 5]),
+            (26_000, &[6]),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, ids))| {
+            Msg::Doc(setcorr_model::Document::new(
+                i as u64,
+                Timestamp(t),
+                ts(&ids.iter().map(|&x| x as u32).collect::<Vec<_>>()),
+            ))
+        })
+        .collect();
+        let mut per_msg = ParserBolt::new(TimeDelta::from_secs(10));
+        let mut cap_msg = Capture::default();
+        for d in docs.clone() {
+            per_msg.on_message(d, &mut cap_msg);
+        }
+        let mut batched = ParserBolt::new(TimeDelta::from_secs(10));
+        let mut cap_batch = Capture::default();
+        batched.on_batch(docs, &mut cap_batch);
+        assert_eq!(
+            format!("{:?}", cap_msg.emitted),
+            format!("{:?}", cap_batch.emitted)
+        );
+    }
+
+    #[test]
+    fn disseminator_on_batch_matches_per_message() {
+        let build = || {
+            let recorder = RunRecorder::shared(2);
+            let mut d = DisseminatorBolt::new(
+                2,
+                DisseminatorConfig::default(),
+                9,
+                1,
+                1_000,
+                recorder.clone(),
+            );
+            let mut cap = Capture::default();
+            let mut ps = setcorr_core::PartitionSet::empty(2);
+            ps.parts[0].absorb(&ts(&[1, 2]), 1);
+            ps.parts[1].absorb(&ts(&[2, 3]), 1);
+            d.on_message(
+                Msg::TagSet {
+                    time: Timestamp(0),
+                    tags: ts(&[1]),
+                },
+                &mut cap,
+            );
+            d.on_message(
+                Msg::NewPartitions {
+                    epoch: 0,
+                    partitions: Arc::new(ps),
+                    reference: setcorr_core::QualityReference {
+                        avg_com: 1.5,
+                        max_load: 0.9,
+                    },
+                },
+                &mut cap,
+            );
+            (d, cap, recorder)
+        };
+        let tagsets: Vec<Msg> = [&[1, 2][..], &[2], &[3], &[1, 2, 3], &[2, 3], &[9], &[1]]
+            .iter()
+            .cycle()
+            .take(40)
+            .map(|ids| Msg::TagSet {
+                time: Timestamp(1),
+                tags: ts(ids),
+            })
+            .collect();
+        let (mut per_msg, mut cap_msg, rec_msg) = build();
+        for m in tagsets.clone() {
+            per_msg.on_message(m, &mut cap_msg);
+        }
+        per_msg.on_flush(&mut cap_msg);
+        let (mut batched, mut cap_batch, rec_batch) = build();
+        for chunk in tagsets.chunks(7) {
+            batched.on_batch(chunk.to_vec(), &mut cap_batch);
+        }
+        batched.on_flush(&mut cap_batch);
+        // per-destination notification sequences are identical (the batch
+        // path groups per Calculator; Capture unrolls emit_direct_batch in
+        // order, and every tagset routes before the next batch, so even the
+        // interleaved log lines up within each destination)
+        for calc in 0..2usize {
+            let per_dest = |cap: &Capture| -> Vec<String> {
+                cap.direct
+                    .iter()
+                    .filter(|(_, _, task, _)| *task == calc)
+                    .map(|(s, to, _, m)| format!("{s}:{to}:{m:?}"))
+                    .collect()
+            };
+            assert_eq!(per_dest(&cap_msg), per_dest(&cap_batch), "calc {calc}");
+        }
+        assert_eq!(
+            format!("{:?}", cap_msg.emitted),
+            format!("{:?}", cap_batch.emitted)
+        );
+        assert_eq!(
+            rec_msg.lock().routed_tagsets,
+            rec_batch.lock().routed_tagsets
+        );
+        assert_eq!(
+            rec_msg.lock().unrouted_tagsets,
+            rec_batch.lock().unrouted_tagsets
+        );
+        assert_eq!(
+            rec_msg.lock().total_notifications,
+            rec_batch.lock().total_notifications
+        );
+    }
+
+    #[test]
+    fn calculator_on_batch_with_mid_batch_fence_and_tick_matches_per_message() {
+        // Hand-built batch with a fence and a tick landing mid-batch (the
+        // runtimes never batch barriers, but on_batch must stay equivalent
+        // anyway): reports and barrier accounting must match per-message
+        // delivery byte for byte.
+        let build = || {
+            let recorder = RunRecorder::shared(2);
+            CalculatorBolt::new(1).with_migration(9, 2, recorder)
+        };
+        let mut ps = setcorr_core::PartitionSet::empty(2);
+        ps.parts[1].absorb(&ts(&[1, 2]), 0);
+        let ps = Arc::new(ps);
+        let notif = |doc: u64, ids: &[u32]| Msg::Notification { doc, tags: ts(ids) };
+        let msgs = vec![
+            notif(0, &[1, 2]),
+            notif(1, &[1, 2]),
+            notif(2, &[2]),
+            Msg::Fence {
+                epoch: 0,
+                partitions: ps.clone(),
+            },
+            // barrier now open: these stall until the adopt arrives
+            notif(3, &[1, 2]),
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1),
+            },
+            notif(4, &[1, 2]),
+        ];
+        let adopt = Msg::Adopt {
+            epoch: 0,
+            from: 0,
+            bundle: Arc::new(setcorr_core::MigrationBundle {
+                counters: vec![(ts(&[1]), 2), (ts(&[2]), 2), (ts(&[1, 2]), 2)],
+                ..Default::default()
+            }),
+        };
+        let mut per_msg = build();
+        let mut cap_msg = Capture::default();
+        for m in msgs.clone() {
+            per_msg.on_message(m, &mut cap_msg);
+        }
+        per_msg.on_message(adopt.clone(), &mut cap_msg);
+        let mut batched = build();
+        let mut cap_batch = Capture::default();
+        batched.on_batch(msgs, &mut cap_batch);
+        batched.on_message(adopt, &mut cap_batch);
+        assert_eq!(per_msg.drained(), batched.drained());
+        assert_eq!(
+            format!("{:?}", cap_msg.emitted),
+            format!("{:?}", cap_batch.emitted)
+        );
+        assert_eq!(
+            format!("{:?}", cap_msg.direct),
+            format!("{:?}", cap_batch.direct)
+        );
+        // the tick replayed after the barrier closed, with full evidence
+        let report = cap_batch
+            .emitted
+            .iter()
+            .find_map(|(s, m)| match m {
+                Msg::CalcReport { reports, .. } if *s == "coeffs" => Some(reports.clone()),
+                _ => None,
+            })
+            .expect("tick reported");
+        assert_eq!(report[0].counter, 5, "2 migrated + 3 observed before tick");
+    }
+
+    #[test]
+    fn calculator_on_batch_preaggregates_for_count_weighted_backends() {
+        // 6 notifications, 2 distinct tagsets: the exact backend sees the
+        // same counts as per-message delivery (received included).
+        let mut c = CalculatorBolt::new(0);
+        let mut cap = Capture::default();
+        let batch: Vec<Msg> = (0..6)
+            .map(|i| Msg::Notification {
+                doc: i,
+                tags: if i % 2 == 0 { ts(&[1, 2]) } else { ts(&[3, 4]) },
+            })
+            .collect();
+        c.on_batch(batch, &mut cap);
+        assert_eq!(c.calc.received(), 6);
+        c.on_message(
+            Msg::Tick {
+                round: 0,
+                time: Timestamp(1),
+            },
+            &mut cap,
+        );
+        let Msg::CalcReport { reports, .. } = &cap.emitted[0].1 else {
+            panic!("expected CalcReport");
+        };
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.counter == 3));
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct RunReport {
     pub load_chart: Chart,
     /// Repartition markers `(x, cause)` for the over-time plots.
     pub repartition_marks: Vec<(u64, String)>,
+    /// Per-operator wall-time attribution `(component, seconds)` in
+    /// declaration order — seconds spent inside each component's operator
+    /// callbacks (threaded runs only; empty for sim, which has no
+    /// meaningful per-operator clock). Lets the e2e bench say *where* a
+    /// run's time went instead of only how long it took.
+    pub operator_seconds: Vec<(String, f64)>,
     /// Deduplicated coefficients per report round (round id ascending),
     /// skipped in JSON — the downstream-analytics feed (§6.2's Tracker
     /// output; what enBlogue-style trend detection consumes).
@@ -134,6 +140,7 @@ impl RunReport {
                 .iter()
                 .map(|&(x, cause)| (x, cause.to_string()))
                 .collect(),
+            operator_seconds: Vec::new(),
             tracked_rounds: {
                 let mut rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)> = recorder
                     .tracked_rounds
@@ -228,6 +235,17 @@ impl RunReport {
             out.push(']');
         }
         out.push(']');
+        out.push(',');
+        out.push_str("\"operator_seconds\":{");
+        for (i, (name, secs)) in self.operator_seconds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&format!("{secs:.4}"));
+        }
+        out.push('}');
         out.push('}');
         out
     }
