@@ -1,0 +1,20 @@
+//! Serving layer under query load: paced reader threads hammering the
+//! snapshot store while the threaded topology ingests at full rate.
+//!
+//! Appends a run record (git rev + mode) to `BENCH_serve.json` at the
+//! workspace root; set `SERVE_QUICK=1` for the CI smoke run.
+
+use setcorr_bench::serving;
+
+fn main() {
+    let quick = std::env::var("SERVE_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let report = serving::measure(quick);
+    print!("{}", report.render());
+    let root = serving::root();
+    match serving::write_json(&report, &root) {
+        Ok(()) => eprintln!("appended to {}", root.join("BENCH_serve.json").display()),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}

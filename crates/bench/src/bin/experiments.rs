@@ -17,6 +17,8 @@
 //!   sketch    the §2 sketch-overhead argument, quantified
 //!   ingest    per-tuple hot-path throughput (observe / route / e2e),
 //!             recorded to BENCH_ingest.json at the workspace root
+//!   serve     serving layer under concurrent query load (reader qps,
+//!             ingest slowdown), recorded to BENCH_serve.json
 //!   all       Everything above
 //!
 //! options:
@@ -30,7 +32,7 @@
 //! ```
 
 use setcorr_bench::harness::{self, Grid, Scale};
-use setcorr_bench::ingest;
+use setcorr_bench::{ingest, serving};
 use setcorr_topology::RunMode;
 use std::io::Write;
 
@@ -49,6 +51,25 @@ fn run_ingest(quick: bool) -> String {
             root.join("BENCH_ingest.json").display()
         ),
         Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+    report.render()
+}
+
+/// Run the serving query-load measurement, append a run record (git rev +
+/// mode) to `BENCH_serve.json` at the workspace root, and return the
+/// rendered summary.
+fn run_serve(quick: bool) -> String {
+    eprintln!("measuring serving under query load (quick={quick})...");
+    let report = serving::measure(quick);
+    let root = serving::root();
+    match serving::write_json(&report, &root) {
+        Ok(()) => eprintln!(
+            "appended run record ({}, {}) to {}",
+            report.git_rev,
+            report.mode,
+            root.join("BENCH_serve.json").display()
+        ),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
     }
     report.render()
 }
@@ -126,6 +147,7 @@ fn main() {
         "ablation" => rendered.push(("ablation".into(), harness::ablation(&scale))),
         "sketch" => rendered.push(("sketch".into(), harness::sketch_overhead(&scale))),
         "ingest" => rendered.push(("ingest".into(), run_ingest(quick))),
+        "serve" => rendered.push(("serve".into(), run_serve(quick))),
         "fig8" => {
             let (f8, _) = harness::fig8_fig9(grid.as_ref().unwrap());
             rendered.push(("fig8".into(), f8));
@@ -149,6 +171,7 @@ fn main() {
             rendered.push(("ablation".into(), harness::ablation(&scale)));
             rendered.push(("sketch".into(), harness::sketch_overhead(&scale)));
             rendered.push(("ingest".into(), run_ingest(quick)));
+            rendered.push(("serve".into(), run_serve(quick)));
         }
         other => {
             eprintln!("unknown target {other}");

@@ -469,7 +469,7 @@ pub fn measure(quick: bool) -> IngestReport {
 
 /// Short git revision of the working tree, or "unknown" when git (or the
 /// checkout) is unavailable — keys bench history records to commits.
-fn git_rev() -> String {
+pub(crate) fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .current_dir(workspace_root())

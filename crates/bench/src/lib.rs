@@ -11,3 +11,4 @@
 pub mod fixtures;
 pub mod harness;
 pub mod ingest;
+pub mod serving;

@@ -47,8 +47,13 @@ impl Tracker {
         match entries.get_mut(&report.tags) {
             Some(entry) => {
                 entry.2 += 1;
-                // keep the max-CN coefficient
-                if report.counter > entry.1 {
+                // Keep the max-CN coefficient. Ties break toward the larger
+                // Jaccard value so the winner does not depend on the order
+                // reports drained from the per-Calculator channels — the
+                // serving layer pins threaded runs against the sim oracle.
+                if report.counter > entry.1
+                    || (report.counter == entry.1 && report.jaccard > entry.0)
+                {
                     entry.0 = report.jaccard;
                     entry.1 = report.counter;
                 }
@@ -79,21 +84,34 @@ impl Tracker {
     /// Close `round` and emit its deduplicated coefficients, sorted by
     /// tagset. Returns an empty vector for unknown rounds.
     pub fn finish_round(&mut self, round: u64) -> Vec<TrackedCoefficient> {
+        let mut out = Vec::new();
+        self.finish_round_into(round, &mut out);
+        out
+    }
+
+    /// Close `round` into a caller-owned buffer, clearing it first.
+    ///
+    /// This is the hot publish path: the per-round map drains into `out`
+    /// without an intermediate allocation, so a caller that recycles one
+    /// scratch buffer per round pays nothing beyond occasional growth.
+    pub fn finish_round_into(&mut self, round: u64, out: &mut Vec<TrackedCoefficient>) {
+        out.clear();
         let Some(entries) = self.rounds.remove(&round) else {
-            return Vec::new();
+            return;
         };
-        let mut out: Vec<TrackedCoefficient> = entries
-            .into_iter()
-            .map(|(tags, (jaccard, counter, reporters))| TrackedCoefficient {
-                tags,
-                jaccard,
-                counter,
-                reporters,
-            })
-            .collect();
+        out.reserve(entries.len());
+        out.extend(
+            entries
+                .into_iter()
+                .map(|(tags, (jaccard, counter, reporters))| TrackedCoefficient {
+                    tags,
+                    jaccard,
+                    counter,
+                    reporters,
+                }),
+        );
         out.sort_unstable_by(|a, b| a.tags.cmp(&b.tags));
         self.published += out.len() as u64;
-        out
     }
 }
 
@@ -161,11 +179,36 @@ mod tests {
     }
 
     #[test]
-    fn equal_counters_keep_first() {
+    fn equal_counters_break_toward_larger_jaccard() {
         let mut t = Tracker::new();
         t.observe(0, &report(&[1, 2], 0.4, 5));
         t.observe(0, &report(&[1, 2], 0.6, 5));
         let out = t.finish_round(0);
-        assert_eq!(out[0].jaccard, 0.4, "strictly-greater CN replaces");
+        assert_eq!(out[0].jaccard, 0.6, "tie-break must not depend on order");
+        // and the same reports in the opposite order pick the same winner
+        let mut t = Tracker::new();
+        t.observe(0, &report(&[1, 2], 0.6, 5));
+        t.observe(0, &report(&[1, 2], 0.4, 5));
+        assert_eq!(t.finish_round(0)[0].jaccard, 0.6);
+    }
+
+    #[test]
+    fn finish_round_into_reuses_the_scratch_buffer() {
+        let mut t = Tracker::new();
+        t.observe(0, &report(&[1, 2], 0.4, 5));
+        t.observe(1, &report(&[3, 4], 0.5, 5));
+        let mut scratch = Vec::new();
+        t.finish_round_into(0, &mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(scratch[0].tags, TagSet::from_ids(&[1, 2]));
+        t.finish_round_into(1, &mut scratch);
+        assert_eq!(scratch.len(), 1, "buffer is cleared before refill");
+        assert_eq!(scratch[0].tags, TagSet::from_ids(&[3, 4]));
+        t.finish_round_into(99, &mut scratch);
+        assert!(
+            scratch.is_empty(),
+            "unknown round clears and yields nothing"
+        );
+        assert_eq!(t.published(), 2);
     }
 }

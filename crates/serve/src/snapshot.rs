@@ -1,0 +1,227 @@
+//! Immutable, epoch-stamped views over one report round's deduplicated
+//! coefficients, with the two query indexes built once at publish time.
+
+use setcorr_core::TrackedCoefficient;
+use setcorr_model::{FxHashMap, Tag, TagSet};
+use std::sync::Arc;
+
+/// One published view of the Tracker's output: everything the round's
+/// deduplicated coefficients can answer, frozen.
+///
+/// A snapshot is built *off to the side* by the publisher and becomes
+/// visible atomically, so every field is consistent with every other —
+/// readers can never observe a half-built index. The coefficient storage is
+/// shared (`Arc`) with the run recorder: publishing does not copy the
+/// round's reports, only indexes them.
+///
+/// Index layout: `coefficients` is sorted by tagset (the Tracker's output
+/// order), `by_jaccard` and the per-tag neighborhood lists hold `u32`
+/// positions into it, ordered by descending Jaccard (ties broken by tagset,
+/// ascending, so the ordering is total and runs are comparable
+/// byte-for-byte).
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Report round this snapshot publishes, `None` only for the initial
+    /// empty snapshot that exists before the first round closes.
+    round: Option<u64>,
+    /// Publication sequence number: 0 for the initial empty snapshot, then
+    /// 1, 2, … — strictly monotone, the staleness clock.
+    seq: u64,
+    /// The round's deduplicated coefficients, sorted by tagset.
+    coefficients: Arc<Vec<TrackedCoefficient>>,
+    /// All coefficient positions, ordered by descending Jaccard.
+    by_jaccard: Vec<u32>,
+    /// Per-tag inverted neighborhood index: for tag `t`, the positions of
+    /// every tracked tagset containing `t`, ordered by descending Jaccard.
+    neighbors: FxHashMap<Tag, Vec<u32>>,
+}
+
+impl Snapshot {
+    /// The empty pre-publication snapshot (sequence 0, no round).
+    pub fn empty() -> Self {
+        Snapshot {
+            round: None,
+            seq: 0,
+            coefficients: Arc::new(Vec::new()),
+            by_jaccard: Vec::new(),
+            neighbors: FxHashMap::default(),
+        }
+    }
+
+    /// Build the snapshot for `round` over `coefficients` (the Tracker's
+    /// per-round output: sorted by tagset, one entry per tagset).
+    ///
+    /// `seq` is the publication sequence the store assigns. Building is the
+    /// only O(n log n) work of a publication; the swap itself is one
+    /// pointer store.
+    pub fn build(round: u64, seq: u64, coefficients: Arc<Vec<TrackedCoefficient>>) -> Self {
+        let n = coefficients.len();
+        debug_assert!(
+            coefficients.windows(2).all(|w| w[0].tags < w[1].tags),
+            "tracker output must be strictly sorted by tagset"
+        );
+        let mut by_jaccard: Vec<u32> = (0..n as u32).collect();
+        // Descending Jaccard; positions compare equal only for identical
+        // coefficients, and the index tie-break (ascending position ==
+        // ascending tagset) keeps the order total and deterministic.
+        by_jaccard.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (&coefficients[a as usize], &coefficients[b as usize]);
+            cb.jaccard
+                .partial_cmp(&ca.jaccard)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut neighbors: FxHashMap<Tag, Vec<u32>> = FxHashMap::default();
+        // Walking in by_jaccard order makes every per-tag list come out
+        // already ordered by descending Jaccard — no per-list sort.
+        for &pos in &by_jaccard {
+            for tag in coefficients[pos as usize].tags.iter() {
+                neighbors.entry(tag).or_default().push(pos);
+            }
+        }
+        Snapshot {
+            round: Some(round),
+            seq,
+            coefficients,
+            by_jaccard,
+            neighbors,
+        }
+    }
+
+    /// The report round this snapshot publishes (`None` before the first
+    /// publication).
+    pub fn round(&self) -> Option<u64> {
+        self.round
+    }
+
+    /// Publication sequence number (0 = the initial empty snapshot).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of tracked tagsets in this round.
+    pub fn len(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// True when the snapshot tracks nothing (including pre-publication).
+    pub fn is_empty(&self) -> bool {
+        self.coefficients.is_empty()
+    }
+
+    /// The round's deduplicated coefficients, sorted by tagset — the same
+    /// storage the run recorder holds (shared, never copied at publish).
+    pub fn coefficients(&self) -> &Arc<Vec<TrackedCoefficient>> {
+        &self.coefficients
+    }
+
+    /// The `k` most correlated tagsets of the round, best first.
+    pub fn top_k(&self, k: usize) -> impl Iterator<Item = &TrackedCoefficient> {
+        self.by_jaccard
+            .iter()
+            .take(k)
+            .map(|&pos| &self.coefficients[pos as usize])
+    }
+
+    /// The `k` most correlated tagsets *containing `tag`*, best first —
+    /// the inverted neighborhood index, no scan.
+    pub fn neighbors(&self, tag: Tag, k: usize) -> impl Iterator<Item = &TrackedCoefficient> {
+        self.neighbors
+            .get(&tag)
+            .map(|positions| &positions[..positions.len().min(k)])
+            .unwrap_or(&[])
+            .iter()
+            .map(|&pos| &self.coefficients[pos as usize])
+    }
+
+    /// Number of tracked tagsets containing `tag`.
+    pub fn neighbor_count(&self, tag: Tag) -> usize {
+        self.neighbors.get(&tag).map_or(0, Vec::len)
+    }
+
+    /// This round's coefficient for exactly `tags` (binary search over the
+    /// tagset-sorted storage).
+    pub fn coefficient(&self, tags: &TagSet) -> Option<&TrackedCoefficient> {
+        self.coefficients
+            .binary_search_by(|c| c.tags.cmp(tags))
+            .ok()
+            .map(|pos| &self.coefficients[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coeff(ids: &[u32], jaccard: f64) -> TrackedCoefficient {
+        TrackedCoefficient {
+            tags: TagSet::from_ids(ids),
+            jaccard,
+            counter: 1,
+            reporters: 1,
+        }
+    }
+
+    fn sample() -> Snapshot {
+        // sorted by tagset, as the Tracker emits
+        let coeffs = Arc::new(vec![
+            coeff(&[1, 2], 0.5),
+            coeff(&[1, 3], 0.9),
+            coeff(&[2, 3], 0.9),
+            coeff(&[4, 5], 0.1),
+        ]);
+        Snapshot::build(7, 1, coeffs)
+    }
+
+    #[test]
+    fn empty_snapshot_answers_nothing() {
+        let s = Snapshot::empty();
+        assert_eq!(s.round(), None);
+        assert_eq!(s.seq(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.top_k(5).count(), 0);
+        assert_eq!(s.neighbors(Tag(1), 5).count(), 0);
+        assert!(s.coefficient(&TagSet::from_ids(&[1, 2])).is_none());
+    }
+
+    #[test]
+    fn top_k_orders_by_jaccard_with_tagset_tiebreak() {
+        let s = sample();
+        let top: Vec<&TrackedCoefficient> = s.top_k(3).collect();
+        // 0.9 ties break by tagset order: {1,3} before {2,3}
+        assert_eq!(top[0].tags, TagSet::from_ids(&[1, 3]));
+        assert_eq!(top[1].tags, TagSet::from_ids(&[2, 3]));
+        assert_eq!(top[2].tags, TagSet::from_ids(&[1, 2]));
+        assert_eq!(s.top_k(100).count(), 4, "k beyond len is clamped");
+    }
+
+    #[test]
+    fn neighbors_answer_per_tag_without_scan() {
+        let s = sample();
+        let n3: Vec<&TrackedCoefficient> = s.neighbors(Tag(3), 10).collect();
+        assert_eq!(n3.len(), 2);
+        assert!(n3.iter().all(|c| c.tags.iter().any(|t| t == Tag(3))));
+        assert_eq!(n3[0].tags, TagSet::from_ids(&[1, 3]), "best first");
+        assert_eq!(s.neighbors(Tag(1), 1).count(), 1, "k truncates");
+        assert_eq!(s.neighbor_count(Tag(2)), 2);
+        assert_eq!(s.neighbors(Tag(99), 10).count(), 0, "unknown tag");
+    }
+
+    #[test]
+    fn coefficient_lookup_is_exact() {
+        let s = sample();
+        let c = s.coefficient(&TagSet::from_ids(&[2, 3])).unwrap();
+        assert_eq!(c.jaccard, 0.9);
+        assert!(s.coefficient(&TagSet::from_ids(&[1, 2, 3])).is_none());
+        assert_eq!(s.round(), Some(7));
+        assert_eq!(s.seq(), 1);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn publishing_shares_the_coefficient_storage() {
+        let coeffs = Arc::new(vec![coeff(&[1, 2], 0.5)]);
+        let s = Snapshot::build(0, 1, coeffs.clone());
+        assert!(Arc::ptr_eq(s.coefficients(), &coeffs), "no copy at publish");
+    }
+}

@@ -1,13 +1,16 @@
-//! Offline stand-in for the `parking_lot::Mutex` API surface the workspace
-//! uses: a `lock()` that returns the guard directly (no `Result`).
+//! Offline stand-in for the `parking_lot` API surface the workspace uses:
+//! a `Mutex` whose `lock()` returns the guard directly (no `Result`), and an
+//! `RwLock` whose `read()`/`write()` do the same — the serving layer's
+//! snapshot swap (`RwLock<Arc<Snapshot>>`) publishes under a short write
+//! lock while readers clone the `Arc` under a shared read lock.
 //!
-//! Backed by `std::sync::Mutex`; poisoning is absorbed by handing back the
-//! inner guard (the recorder's measurement state stays readable even if a
-//! runtime thread panicked mid-update, which is also `parking_lot`'s
-//! behaviour — it has no poisoning at all).
+//! Backed by `std::sync::{Mutex, RwLock}`; poisoning is absorbed by handing
+//! back the inner guard (the recorder's measurement state stays readable
+//! even if a runtime thread panicked mid-update, which is also
+//! `parking_lot`'s behaviour — it has no poisoning at all).
 
 use std::fmt;
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive whose `lock` cannot fail.
 #[derive(Default)]
@@ -56,6 +59,65 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A reader–writer lock whose `read`/`write` cannot fail.
+///
+/// Many readers may hold the lock at once; a writer excludes everyone.
+/// Fairness is whatever `std::sync::RwLock` provides on the platform —
+/// good enough for the snapshot-swap pattern, where writes are rare (one
+/// per report round) and hold the lock for a single pointer store.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until no writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquire exclusive write access, blocking until the lock is free.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +160,65 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 7, "lock must remain usable");
+    }
+
+    #[test]
+    fn rwlock_read_and_write_return_guards_directly() {
+        let l = RwLock::new(41);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (41, 41), "shared readers coexist");
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_snapshot_swap_pattern() {
+        // The serving layer's publish/acquire protocol: readers clone the
+        // Arc under a read lock, the writer swaps the pointer under a
+        // write lock. Every reader must see either the old or the new
+        // snapshot, never a mix.
+        let store = Arc::new(RwLock::new(Arc::new(vec![0u64; 8])));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = store.clone();
+                let stop = stop.clone();
+                thread::spawn(move || {
+                    let mut seen_max = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let snap = store.read().clone();
+                        let first = snap[0];
+                        assert!(snap.iter().all(|&v| v == first), "torn snapshot");
+                        assert!(first >= seen_max, "snapshots went backwards");
+                        seen_max = first;
+                    }
+                })
+            })
+            .collect();
+        for version in 1..=100u64 {
+            let next = Arc::new(vec![version; 8]);
+            *store.write() = next;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.read()[0], 100);
+    }
+
+    #[test]
+    fn rwlock_survives_a_panicking_writer() {
+        let l = Arc::new(RwLock::new(7));
+        let l2 = l.clone();
+        let _ = thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("writer dies");
+        })
+        .join();
+        assert_eq!(*l.read(), 7, "lock must remain usable");
     }
 }

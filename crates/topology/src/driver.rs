@@ -113,6 +113,11 @@ pub struct ExperimentConfig {
     /// Disable to reproduce the offline behaviour (new maps affect future
     /// routing only) for comparison runs.
     pub live_migration: bool,
+    /// Centralized exact baseline (default on): required for the accuracy
+    /// comparison, but a pure measurement artifact otherwise — per-operator
+    /// attribution shows it occupying about a third of e2e wall time, so
+    /// throughput benchmarks (`--quick` mode) switch it off.
+    pub baseline: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -133,6 +138,7 @@ impl Default for ExperimentConfig {
             elastic_docs_per_calc: None,
             backend: BackendKind::Exact,
             live_migration: true,
+            baseline: true,
         }
     }
 }
@@ -156,6 +162,13 @@ impl ExperimentConfig {
     /// This config with live repartitioning switched on or off.
     pub fn with_live_migration(mut self, on: bool) -> Self {
         self.live_migration = on;
+        self
+    }
+
+    /// This config with the centralized baseline switched on or off.
+    /// Without it the run reports no coverage/error figures.
+    pub fn with_baseline(mut self, on: bool) -> Self {
+        self.baseline = on;
         self
     }
 }
@@ -182,12 +195,23 @@ impl Spout<Msg> for DocSpout {
     }
 }
 
-/// Build the full Figure 2 topology (plus the centralized baseline bolt) for
-/// `config` over `docs`.
+/// Build the full Figure 2 topology (plus the centralized baseline bolt
+/// when `config.baseline` is on) for `config` over `docs`.
 pub fn build_topology(
     config: &ExperimentConfig,
     docs: Box<dyn Iterator<Item = Document> + Send>,
     recorder: SharedRecorder,
+) -> Topology<Msg> {
+    build_served_topology(config, docs, recorder, None)
+}
+
+/// [`build_topology`], optionally attaching a serving-layer [`Publisher`](setcorr_serve::Publisher)
+/// to the Tracker so every closed round becomes a queryable snapshot.
+pub fn build_served_topology(
+    config: &ExperimentConfig,
+    docs: Box<dyn Iterator<Item = Document> + Send>,
+    recorder: SharedRecorder,
+    publisher: Option<setcorr_serve::Publisher>,
 ) -> Topology<Msg> {
     let mut tb: TopologyBuilder<Msg> = TopologyBuilder::new();
 
@@ -264,16 +288,26 @@ pub fn build_topology(
 
     let tracker = {
         let recorder = recorder.clone();
+        let mut publisher_slot = publisher;
         tb.add_bolt("tracker", 1, move |_| {
-            Box::new(TrackerBolt::new(k, recorder.clone())) as Box<dyn Bolt<Msg>>
+            let bolt = TrackerBolt::new(k, recorder.clone());
+            let bolt = match publisher_slot.take() {
+                Some(publisher) => bolt.with_publisher(publisher),
+                None => bolt,
+            };
+            Box::new(bolt) as Box<dyn Bolt<Msg>>
         })
     };
 
-    let baseline = {
+    // Declared last so switching it off leaves every other component id
+    // (and the Disseminator's precomputed direct-grouping target) unchanged.
+    let baseline = if config.baseline {
         let recorder = recorder.clone();
-        tb.add_bolt("baseline", 1, move |_| {
+        Some(tb.add_bolt("baseline", 1, move |_| {
             Box::new(BaselineBolt::new(recorder.clone())) as Box<dyn Bolt<Msg>>
-        })
+        }))
+    } else {
+        None
     };
 
     // Wiring (see module docs of `operators` for the full map).
@@ -289,9 +323,13 @@ pub fn build_topology(
             _ => 0,
         })),
     );
-    tb.connect(parser, "tagsets", baseline, Grouping::Global);
+    if let Some(baseline) = baseline {
+        tb.connect(parser, "tagsets", baseline, Grouping::Global);
+    }
     tb.connect(parser, "ticks", disseminator, Grouping::All);
-    tb.connect(parser, "ticks", baseline, Grouping::Global);
+    if let Some(baseline) = baseline {
+        tb.connect(parser, "ticks", baseline, Grouping::Global);
+    }
     tb.connect(partitioner, "parts", merger, Grouping::Global);
     tb.connect(merger, "partitions", disseminator, Grouping::All);
     tb.connect(merger, "additions", disseminator, Grouping::All);
@@ -340,8 +378,18 @@ pub fn run(
     docs: Box<dyn Iterator<Item = Document> + Send>,
     mode: RunMode,
 ) -> RunReport {
+    run_with_publisher(config, docs, mode, None)
+}
+
+fn run_with_publisher(
+    config: &ExperimentConfig,
+    docs: Box<dyn Iterator<Item = Document> + Send>,
+    mode: RunMode,
+    publisher: Option<setcorr_serve::Publisher>,
+) -> RunReport {
+    let serve_counters = publisher.as_ref().map(|p| p.subscribe());
     let recorder = RunRecorder::shared(config.k);
-    let topology = build_topology(config, docs, recorder.clone());
+    let topology = build_served_topology(config, docs, recorder.clone(), publisher);
     let names: Vec<String> = topology
         .component_names()
         .iter()
@@ -371,10 +419,74 @@ pub fn run(
     if let Some(busy) = busy {
         report.operator_seconds = names.into_iter().zip(busy).collect();
     }
+    if let Some(counters) = serve_counters {
+        report.snapshots_published = counters.snapshots_published();
+        report.reader_acquisitions = counters.reader_acquisitions();
+        report.snapshot_build_seconds = counters.build_seconds();
+    }
     report
 }
 
 /// Convenience: run over a vector of documents.
 pub fn run_docs(config: &ExperimentConfig, docs: Vec<Document>, mode: RunMode) -> RunReport {
     run(config, Box::new(docs.into_iter()), mode)
+}
+
+/// Run one experiment with the serving layer attached: every report round
+/// the Tracker closes is published as an immutable snapshot, and the
+/// returned [`setcorr_serve::QueryHandle`] answers queries against the
+/// final published state (and collected serve counters land in the report).
+///
+/// For queries *while the run is still ingesting*, use [`spawn_served`].
+pub fn run_served(
+    config: &ExperimentConfig,
+    docs: Box<dyn Iterator<Item = Document> + Send>,
+    mode: RunMode,
+) -> (RunReport, setcorr_serve::QueryHandle) {
+    let (publisher, handle) = setcorr_serve::store();
+    let report = run_with_publisher(config, docs, mode, Some(publisher));
+    (report, handle)
+}
+
+/// A served experiment running on a background thread: the query handle is
+/// live *during* ingest — the XRay-style workload of concurrent correlation
+/// queries against a continuously-updating stream.
+pub struct LiveRun {
+    handle: setcorr_serve::QueryHandle,
+    join: std::thread::JoinHandle<RunReport>,
+}
+
+impl LiveRun {
+    /// The serving-layer query handle (clone it into reader threads).
+    pub fn query_handle(&self) -> setcorr_serve::QueryHandle {
+        self.handle.clone()
+    }
+
+    /// Whether the run has finished ingesting.
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+
+    /// Wait for the stream to drain and collect the report. The query
+    /// handle (and any clone of it) keeps answering from the last published
+    /// snapshot afterwards.
+    pub fn finish(self) -> RunReport {
+        self.join.join().expect("served run panicked")
+    }
+}
+
+/// Start a served run on a background thread and hand back the live
+/// [`LiveRun`] immediately; queries work mid-run.
+pub fn spawn_served(
+    config: &ExperimentConfig,
+    docs: Box<dyn Iterator<Item = Document> + Send + 'static>,
+    mode: RunMode,
+) -> LiveRun {
+    let (publisher, handle) = setcorr_serve::store();
+    let config = config.clone();
+    let join = std::thread::Builder::new()
+        .name("setcorr-served-run".into())
+        .spawn(move || run_with_publisher(&config, docs, mode, Some(publisher)))
+        .expect("spawn served run");
+    LiveRun { handle, join }
 }

@@ -25,9 +25,10 @@ pub mod report;
 
 pub use connectivity::{connectivity, ConnectivitySummary};
 pub use driver::{
-    batch_policy, build_topology, run, run_docs, BackendKind, ExperimentConfig, RunMode,
-    THREADED_BATCH,
+    batch_policy, build_served_topology, build_topology, run, run_docs, run_served, spawn_served,
+    BackendKind, ExperimentConfig, LiveRun, RunMode, THREADED_BATCH,
 };
 pub use messages::Msg;
 pub use recorder::{RunRecorder, SharedRecorder};
 pub use report::{RunReport, BASELINE_MIN_SIGHTINGS, WARMUP_ROUNDS};
+pub use setcorr_serve::{QueryHandle, Snapshot};

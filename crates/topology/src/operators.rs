@@ -37,6 +37,7 @@ use setcorr_engine::{Bolt, ComponentId, Emitter};
 use setcorr_model::{
     FxHashMap, TagSet, TagSetStat, TagSetWindow, TimeDelta, Timestamp, WindowKind,
 };
+use setcorr_serve::Publisher;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -963,13 +964,26 @@ impl Bolt<Msg> for CalculatorBolt {
 // Tracker
 // ---------------------------------------------------------------------------
 
-/// Deduplicates replicated coefficients per round (§6.2) and writes closed
-/// rounds into the recorder.
+/// Deduplicates replicated coefficients per round (§6.2), writes closed
+/// rounds into the recorder, and — when a serving [`Publisher`] is attached
+/// — publishes each closed round as a live snapshot.
+///
+/// Publication happens only at `finalize`, i.e. once all `k` Calculators
+/// reported the round (per-Calculator channels are FIFO, so round `r`
+/// completes before `r + 1` starts arriving) — a half-round can never
+/// become visible, including rounds closed across a migration fence.
 pub struct TrackerBolt {
     tracker: Tracker,
     k: usize,
     received: FxHashMap<u64, usize>,
     recorder: SharedRecorder,
+    publisher: Option<Publisher>,
+    /// Round-close drain buffer, handed to [`Tracker::finish_round_into`].
+    /// Its storage escapes into the shared `Arc` every non-empty round (the
+    /// recorder and the snapshot keep it), so what the reuse buys is the
+    /// empty-round case and the exact-size single allocation on fill —
+    /// not capacity retention.
+    scratch: Vec<setcorr_core::TrackedCoefficient>,
 }
 
 impl TrackerBolt {
@@ -980,11 +994,23 @@ impl TrackerBolt {
             k,
             received: FxHashMap::default(),
             recorder,
+            publisher: None,
+            scratch: Vec::new(),
         }
     }
 
+    /// This tracker, publishing every closed round to the serving layer.
+    pub fn with_publisher(mut self, publisher: Publisher) -> Self {
+        self.publisher = Some(publisher);
+        self
+    }
+
     fn finalize(&mut self, round: u64) {
-        let coeffs = self.tracker.finish_round(round);
+        self.tracker.finish_round_into(round, &mut self.scratch);
+        let coeffs = Arc::new(std::mem::take(&mut self.scratch));
+        if let Some(publisher) = &self.publisher {
+            publisher.publish(round, coeffs.clone());
+        }
         self.recorder.lock().tracked_rounds.insert(round, coeffs);
     }
 }

@@ -49,7 +49,9 @@ pub struct RunRecorder {
     /// baseline. Eligibility filter for the accuracy comparison.
     pub baseline_occurrences: FxHashMap<setcorr_model::TagSet, u64>,
     /// Deduplicated per-round coefficients from the distributed pipeline.
-    pub tracked_rounds: FxHashMap<u64, Vec<TrackedCoefficient>>,
+    /// `Arc`-held: the same storage backs the serving layer's published
+    /// snapshots, so recording a round never copies it.
+    pub tracked_rounds: FxHashMap<u64, Arc<Vec<TrackedCoefficient>>>,
 }
 
 impl RunRecorder {

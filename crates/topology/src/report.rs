@@ -79,6 +79,15 @@ pub struct RunReport {
     /// skipped in JSON — the downstream-analytics feed (§6.2's Tracker
     /// output; what enBlogue-style trend detection consumes).
     pub tracked_rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)>,
+    /// Serving layer: snapshots published over the run (0 when the run had
+    /// no serving store attached).
+    pub snapshots_published: u64,
+    /// Serving layer: reader snapshot acquisitions observed by the end of
+    /// the run (including post-run reads that happened before aggregation).
+    pub reader_acquisitions: u64,
+    /// Serving layer: total seconds spent building + swapping snapshots
+    /// (on the Tracker's round-close path).
+    pub snapshot_build_seconds: f64,
 }
 
 /// Sightings filter for the accuracy comparison: the baseline "considers
@@ -145,11 +154,14 @@ impl RunReport {
                 let mut rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)> = recorder
                     .tracked_rounds
                     .iter()
-                    .map(|(&r, coeffs)| (r, coeffs.clone()))
+                    .map(|(&r, coeffs)| (r, coeffs.as_ref().clone()))
                     .collect();
                 rounds.sort_by_key(|&(r, _)| r);
                 rounds
             },
+            snapshots_published: 0,
+            reader_acquisitions: 0,
+            snapshot_build_seconds: 0.0,
         }
     }
 
@@ -235,6 +247,16 @@ impl RunReport {
             out.push(']');
         }
         out.push(']');
+        out.push(',');
+        json_u64(&mut out, "snapshots_published", self.snapshots_published);
+        out.push(',');
+        json_u64(&mut out, "reader_acquisitions", self.reader_acquisitions);
+        out.push(',');
+        json_f64(
+            &mut out,
+            "snapshot_build_seconds",
+            self.snapshot_build_seconds,
+        );
         out.push(',');
         out.push_str("\"operator_seconds\":{");
         for (i, (name, secs)) in self.operator_seconds.iter().enumerate() {
@@ -391,8 +413,10 @@ mod tests {
                 exact(&[5, 6], 0.4, 3), // eligible, never tracked
             ],
         );
-        rec.tracked_rounds
-            .insert(1, vec![tracked(&[1, 2], 0.6), tracked(&[9, 10], 0.1)]);
+        rec.tracked_rounds.insert(
+            1,
+            std::sync::Arc::new(vec![tracked(&[1, 2], 0.6), tracked(&[9, 10], 0.1)]),
+        );
         let report = RunReport::from_recorder("DS", 2, 1, 0.5, 1300, 100, &rec);
         assert_eq!(report.compared_tagsets, 2, "two eligible tagsets");
         assert!((report.coverage - 0.5).abs() < 1e-12);
@@ -410,7 +434,8 @@ mod tests {
         // appears in two rounds, covered only in the second → still covered
         rec.baseline_rounds.insert(1, vec![exact(&[1, 2], 0.5, 4)]);
         rec.baseline_rounds.insert(2, vec![exact(&[1, 2], 0.5, 5)]);
-        rec.tracked_rounds.insert(2, vec![tracked(&[1, 2], 0.5)]);
+        rec.tracked_rounds
+            .insert(2, std::sync::Arc::new(vec![tracked(&[1, 2], 0.5)]));
         let report = RunReport::from_recorder("DS", 2, 1, 0.5, 1300, 100, &rec);
         assert_eq!(report.compared_tagsets, 1);
         assert!((report.coverage - 1.0).abs() < 1e-12);

@@ -15,6 +15,8 @@
 //!   [`core::CorrelationBackend`],
 //! * [`engine`] — the Storm-like stream-processing substrate,
 //! * [`topology`] — the full Figure 2 application and experiment driver,
+//! * [`serve`] — the live serving layer: epoch-stamped snapshots published
+//!   per report round, queried concurrently through [`serve::QueryHandle`],
 //! * [`workload`] — the synthetic Twitter-like stream generator,
 //! * [`theory`] — the §5 analytic models,
 //! * [`metrics`] — Gini / dispersion / accuracy measurement.
@@ -42,6 +44,7 @@ pub use setcorr_core as core;
 pub use setcorr_engine as engine;
 pub use setcorr_metrics as metrics;
 pub use setcorr_model as model;
+pub use setcorr_serve as serve;
 pub use setcorr_sketch as sketch;
 pub use setcorr_theory as theory;
 pub use setcorr_topology as topology;
@@ -63,10 +66,11 @@ pub mod prelude {
         Document, Tag, TagInterner, TagSet, TagSetStat, TagSetWindow, TimeDelta, Timestamp,
         WindowKind,
     };
+    pub use setcorr_serve::{QueryHandle, Snapshot};
     pub use setcorr_theory::{expected_communication, WindowScenario};
     pub use setcorr_topology::{
-        connectivity, run, run_docs, BackendKind, ConnectivitySummary, ExperimentConfig, RunMode,
-        RunReport,
+        connectivity, run, run_docs, run_served, spawn_served, BackendKind, ConnectivitySummary,
+        ExperimentConfig, LiveRun, RunMode, RunReport,
     };
     pub use setcorr_workload::{Generator, WorkloadConfig};
 }
