@@ -4,7 +4,8 @@
 //! pre-optimisation baseline.
 //!
 //! Appends a run record (git rev + mode) to `BENCH_ingest.json` at the
-//! workspace root; set `INGEST_QUICK=1` for the CI smoke run.
+//! workspace root; set `INGEST_QUICK=1` for the CI smoke run and
+//! `INGEST_DEGREE=<n>` to shard the e2e front (default 1).
 
 use setcorr_bench::ingest;
 
@@ -12,7 +13,11 @@ fn main() {
     let quick = std::env::var("INGEST_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
-    let report = ingest::measure(quick);
+    let degree = std::env::var("INGEST_DEGREE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let report = ingest::measure(quick, degree);
     print!("{}", report.render());
     let root = ingest::workspace_root();
     match ingest::write_json(&report, &root) {

@@ -29,6 +29,8 @@
 //!   --fig7-minutes <m>  stream length for fig7           (default 84)
 //!   --out <dir>         also write JSON reports          (default results)
 //!   --quick             shorthand for --duration 120 --fig7-minutes 42
+//!   --degree <n>        front parallelism (spout shards + parser
+//!                       instances) of the ingest e2e runs   (default 1)
 //! ```
 
 use setcorr_bench::harness::{self, Grid, Scale};
@@ -39,9 +41,9 @@ use std::io::Write;
 /// Run the ingest hot-path measurement, append a run record (git rev +
 /// mode) to `BENCH_ingest.json` at the workspace root (the perf trajectory
 /// the CI smoke job uploads and diffs), and return the rendered summary.
-fn run_ingest(quick: bool) -> String {
-    eprintln!("measuring ingest hot-path throughput (quick={quick})...");
-    let report = ingest::measure(quick);
+fn run_ingest(quick: bool, degree: usize) -> String {
+    eprintln!("measuring ingest hot-path throughput (quick={quick}, degree={degree})...");
+    let report = ingest::measure(quick, degree);
     let root = ingest::workspace_root();
     match ingest::write_json(&report, &root) {
         Ok(()) => eprintln!(
@@ -84,6 +86,7 @@ fn main() {
     let mut scale = Scale::default();
     let mut out_dir = Some("results".to_string());
     let mut quick = false;
+    let mut degree = 1usize;
 
     let mut i = 1;
     while i < args.len() {
@@ -107,6 +110,7 @@ fn main() {
                 scale.fig7_minutes = 42;
                 quick = true;
             }
+            "--degree" => degree = take_value(&mut i).parse().expect("degree"),
             "--out" => out_dir = Some(take_value(&mut i)),
             "--no-out" => out_dir = None,
             other => {
@@ -146,7 +150,7 @@ fn main() {
         "fig7" => rendered.push(("fig7".into(), harness::fig7(&scale))),
         "ablation" => rendered.push(("ablation".into(), harness::ablation(&scale))),
         "sketch" => rendered.push(("sketch".into(), harness::sketch_overhead(&scale))),
-        "ingest" => rendered.push(("ingest".into(), run_ingest(quick))),
+        "ingest" => rendered.push(("ingest".into(), run_ingest(quick, degree))),
         "serve" => rendered.push(("serve".into(), run_serve(quick))),
         "fig8" => {
             let (f8, _) = harness::fig8_fig9(grid.as_ref().unwrap());
@@ -170,7 +174,7 @@ fn main() {
             rendered.push(("theory".into(), harness::theory()));
             rendered.push(("ablation".into(), harness::ablation(&scale)));
             rendered.push(("sketch".into(), harness::sketch_overhead(&scale)));
-            rendered.push(("ingest".into(), run_ingest(quick)));
+            rendered.push(("ingest".into(), run_ingest(quick, degree)));
             rendered.push(("serve".into(), run_serve(quick)));
         }
         other => {

@@ -53,6 +53,12 @@ pub struct ThreadStats {
     /// time, so the per-operator shares of a run sum to roughly
     /// `tasks × elapsed` on an idle machine.
     pub busy_seconds: Vec<f64>,
+    /// The per-task breakdown behind [`ThreadStats::busy_seconds`]: one
+    /// inner vector per component, one entry per task (instance). With
+    /// data-parallel components this is what distinguishes "one hot
+    /// instance" from "N evenly-loaded instances" — `busy_seconds[c]`
+    /// is exactly `task_busy_seconds[c].iter().sum()`.
+    pub task_busy_seconds: Vec<Vec<f64>>,
 }
 
 /// Tunables of the threaded runtime.
@@ -606,7 +612,11 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
     // producer threads finish.
     drop(senders);
 
-    let mut handles: Vec<thread::JoinHandle<(ComponentId, u64, u64, f64)>> = Vec::new();
+    // What each task thread reports back: (component, task, processed,
+    // emitted, busy seconds).
+    type TaskResult = (ComponentId, usize, u64, u64, f64);
+    let parallelism_of: Vec<usize> = topology.components.iter().map(|s| s.parallelism).collect();
+    let mut handles: Vec<thread::JoinHandle<TaskResult>> = Vec::new();
     for (c, spec) in topology.components.iter_mut().enumerate() {
         let parallelism = spec.parallelism;
         match &mut spec.kind {
@@ -631,7 +641,7 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                         }
                         let busy = start.elapsed().as_secs_f64();
                         emitter.send_eos();
-                        (c, produced, emitter.emitted, busy)
+                        (c, t, produced, emitter.emitted, busy)
                     }));
                 }
             }
@@ -714,7 +724,7 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                         bolt.on_flush(&mut emitter);
                         busy += t0.elapsed();
                         emitter.send_eos();
-                        (c, processed, emitter.emitted, busy.as_secs_f64())
+                        (c, t, processed, emitter.emitted, busy.as_secs_f64())
                     }));
                 }
             }
@@ -725,12 +735,14 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
         processed: vec![0; n],
         emitted: vec![0; n],
         busy_seconds: vec![0.0; n],
+        task_busy_seconds: parallelism_of.iter().map(|&p| vec![0.0; p]).collect(),
     };
     for h in handles {
-        let (c, processed, emitted, busy) = h.join().expect("task thread panicked");
+        let (c, t, processed, emitted, busy) = h.join().expect("task thread panicked");
         stats.processed[c] += processed;
         stats.emitted[c] += emitted;
         stats.busy_seconds[c] += busy;
+        stats.task_busy_seconds[c][t] = busy;
     }
     stats
 }

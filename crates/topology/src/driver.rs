@@ -9,12 +9,16 @@ use crate::operators::{
 use crate::recorder::{RunRecorder, SharedRecorder};
 use crate::report::RunReport;
 use setcorr_approx::{ApproxCalculator, ApproxParams};
-use setcorr_core::{AlgorithmKind, Calculator, CorrelationBackend, DisseminatorConfig};
+use setcorr_core::{
+    disjoint_sets, partition_setcover, AlgorithmKind, Calculator, CorrelationBackend,
+    DisseminatorConfig, Merger, PartitionInput, PartitionSet, PartitionerOutput, QualityReference,
+    SetCoverVariant,
+};
 use setcorr_engine::{
     run_sim_batched, run_threaded_batched, BatchPolicy, Bolt, Grouping, Spout, ThreadedConfig,
     Topology, TopologyBuilder,
 };
-use setcorr_model::{fx, Document, TimeDelta, WindowKind};
+use setcorr_model::{fx, Document, TagSetWindow, TimeDelta, WindowKind};
 use std::sync::Arc;
 
 /// Which correlation backend the Calculators run.
@@ -116,8 +120,37 @@ pub struct ExperimentConfig {
     /// Centralized exact baseline (default on): required for the accuracy
     /// comparison, but a pure measurement artifact otherwise — per-operator
     /// attribution shows it occupying about a third of e2e wall time, so
-    /// throughput benchmarks (`--quick` mode) switch it off.
+    /// throughput benchmarks switch it off.
     pub baseline: bool,
+    /// Source (spout) shards. Above 1 the document stream is materialised
+    /// and split deterministically by stream position: shard `t` owns
+    /// positions `t, t + N, t + 2N, …` Strided (rather than contiguous)
+    /// ranges mean the sim runtime's round-robin spout sweep re-emits the
+    /// documents in exactly the original stream order — the canonical merge
+    /// order — for *any* shard count, which is what keeps sim the
+    /// byte-identical determinism oracle for sharded runs.
+    pub sources: usize,
+    /// Parser instances behind the source shards (shuffle-grouped). Above 1
+    /// the Disseminator and Baseline run the tick fan-in barrier (see
+    /// `operators` module docs) so round semantics stay exactly degree-1.
+    pub parsers: usize,
+    /// Partition map installed at the Disseminator before the stream
+    /// starts, skipping the bootstrap control round-trip. This removes the
+    /// one scheduling-dependent input of a threaded run — which tagsets
+    /// each Partitioner's window held when the bootstrap request arrived —
+    /// making threaded runs with the exact backend byte-comparable to the
+    /// sim oracle at the Tracker (see [`bootstrap_partitions`]).
+    pub pinned_partitions: Option<Arc<PinnedPartitions>>,
+}
+
+/// A partition map (with its §7.2 reference quality) pinned at Disseminator
+/// construction time. Produced by [`bootstrap_partitions`].
+#[derive(Debug, Clone)]
+pub struct PinnedPartitions {
+    /// The `k` partitions.
+    pub partitions: PartitionSet,
+    /// Reference `avgCom`/`maxLoad` for the drift monitor.
+    pub reference: QualityReference,
 }
 
 impl Default for ExperimentConfig {
@@ -139,6 +172,9 @@ impl Default for ExperimentConfig {
             backend: BackendKind::Exact,
             live_migration: true,
             baseline: true,
+            sources: 1,
+            parsers: 1,
+            pinned_partitions: None,
         }
     }
 }
@@ -171,6 +207,74 @@ impl ExperimentConfig {
         self.baseline = on;
         self
     }
+
+    /// This config with a data-parallel pipeline front: `n` source shards
+    /// feeding `n` Parser instances (the parallelism *degree* of the
+    /// scaling-curve benchmarks).
+    pub fn with_front_parallelism(mut self, n: usize) -> Self {
+        self.sources = n.max(1);
+        self.parsers = n.max(1);
+        self
+    }
+
+    /// This config with a pre-installed partition map (skips bootstrap).
+    pub fn with_pinned_partitions(mut self, pinned: PinnedPartitions) -> Self {
+        self.pinned_partitions = Some(Arc::new(pinned));
+        self
+    }
+}
+
+/// The partition map one offline Partitioner + Merger pass produces over
+/// the first `config.bootstrap_after` non-empty tagsets of `docs` — a
+/// deterministic function of the document stream alone, independent of
+/// runtime scheduling or parallelism degree.
+///
+/// Pin it with [`ExperimentConfig::with_pinned_partitions`] to remove the
+/// bootstrap control round-trip: with the map fixed (and `thr` high enough
+/// that drift never repartitions, `sn` high enough that Single Additions
+/// never fire), routing is a pure per-tagset function and a threaded run
+/// with the exact backend produces byte-identical Tracker output to the sim
+/// oracle — the anchor of `tests/parallel_equivalence.rs`.
+pub fn bootstrap_partitions(config: &ExperimentConfig, docs: &[Document]) -> PinnedPartitions {
+    let mut window = TagSetWindow::new(config.window);
+    let mut seen = 0u64;
+    for doc in docs {
+        if doc.tags.is_empty() {
+            continue;
+        }
+        window.insert(doc.tags.clone(), doc.timestamp);
+        seen += 1;
+        if seen >= config.bootstrap_after {
+            break;
+        }
+    }
+    let input = PartitionInput::from_window(&window);
+    let output = match config.algorithm {
+        AlgorithmKind::Ds => PartitionerOutput::DisjointSets(disjoint_sets(&input)),
+        AlgorithmKind::Scc => PartitionerOutput::Partitions(partition_setcover(
+            &input,
+            config.k,
+            SetCoverVariant::Communication,
+            config.seed,
+        )),
+        AlgorithmKind::Scl => PartitionerOutput::Partitions(partition_setcover(
+            &input,
+            config.k,
+            SetCoverVariant::Load,
+            config.seed,
+        )),
+        AlgorithmKind::Sci => PartitionerOutput::Partitions(partition_setcover(
+            &input,
+            config.k,
+            SetCoverVariant::Independent,
+            config.seed,
+        )),
+    };
+    let outcome = Merger::new(config.algorithm, config.k).merge(vec![output], &input);
+    PinnedPartitions {
+        partitions: outcome.partitions,
+        reference: outcome.reference,
+    }
 }
 
 /// Which runtime executes the topology.
@@ -195,6 +299,25 @@ impl Spout<Msg> for DocSpout {
     }
 }
 
+/// One source shard of a data-parallel front: stream positions
+/// `task, task + step, task + 2·step, …` of the materialised document
+/// stream. See [`ExperimentConfig::sources`] for why the split is strided.
+struct StridedShard {
+    docs: Arc<Vec<Document>>,
+    next: usize,
+    step: usize,
+}
+
+impl Iterator for StridedShard {
+    type Item = Document;
+
+    fn next(&mut self) -> Option<Document> {
+        let doc = self.docs.get(self.next)?.clone();
+        self.next += self.step;
+        Some(doc)
+    }
+}
+
 /// Build the full Figure 2 topology (plus the centralized baseline bolt
 /// when `config.baseline` is on) for `config` over `docs`.
 pub fn build_topology(
@@ -215,18 +338,36 @@ pub fn build_served_topology(
 ) -> Topology<Msg> {
     let mut tb: TopologyBuilder<Msg> = TopologyBuilder::new();
 
-    let mut docs_slot = Some(docs);
-    let source = tb.add_spout("source", 1, move |_| {
-        Box::new(DocSpout {
-            docs: docs_slot.take().expect("single source task"),
-            produced: 0,
-        }) as Box<dyn Spout<Msg>>
-    });
+    let sources = config.sources.max(1);
+    let source = if sources == 1 {
+        // streaming path: the stream is never materialised
+        let mut docs_slot = Some(docs);
+        tb.add_spout("source", 1, move |_| {
+            Box::new(DocSpout {
+                docs: docs_slot.take().expect("single source task"),
+                produced: 0,
+            }) as Box<dyn Spout<Msg>>
+        })
+    } else {
+        let all: Arc<Vec<Document>> = Arc::new(docs.collect());
+        tb.add_spout("source", sources, move |task| {
+            Box::new(DocSpout {
+                docs: Box::new(StridedShard {
+                    docs: all.clone(),
+                    next: task,
+                    step: sources,
+                }),
+                produced: 0,
+            }) as Box<dyn Spout<Msg>>
+        })
+    };
 
     // The paper's experiments use one Parser and one Disseminator (§8.2);
-    // the tick protocol (round boundaries) relies on it.
+    // with `config.parsers > 1` the round-boundary ("tick") protocol is
+    // preserved by the fan-in barrier at the Disseminator and Baseline.
     let report_period = config.report_period;
-    let parser = tb.add_bolt("parser", 1, move |_| {
+    let parsers = config.parsers.max(1);
+    let parser = tb.add_bolt("parser", parsers, move |_| {
         Box::new(ParserBolt::new(report_period)) as Box<dyn Bolt<Msg>>
     });
 
@@ -261,11 +402,17 @@ pub fn build_served_topology(
         };
         let (bootstrap, sample) = (config.bootstrap_after, config.sample_every);
         let live = config.live_migration;
+        let pinned = config.pinned_partitions.clone();
         tb.add_bolt("disseminator", 1, move |_| {
-            Box::new(
+            let bolt =
                 DisseminatorBolt::new(k, dconf, calculator_id, bootstrap, sample, recorder.clone())
-                    .with_live_migration(live),
-            ) as Box<dyn Bolt<Msg>>
+                    .with_live_migration(live)
+                    .with_parser_fanin(parsers, report_period);
+            let bolt = match &pinned {
+                Some(p) => bolt.with_initial_partitions(&p.partitions, p.reference),
+                None => bolt,
+            };
+            Box::new(bolt) as Box<dyn Bolt<Msg>>
         })
     };
     assert_eq!(disseminator, disseminator_id);
@@ -304,14 +451,31 @@ pub fn build_served_topology(
     let baseline = if config.baseline {
         let recorder = recorder.clone();
         Some(tb.add_bolt("baseline", 1, move |_| {
-            Box::new(BaselineBolt::new(recorder.clone())) as Box<dyn Bolt<Msg>>
+            Box::new(BaselineBolt::new(recorder.clone()).with_parser_fanin(parsers, report_period))
+                as Box<dyn Bolt<Msg>>
         }))
     } else {
         None
     };
 
     // Wiring (see module docs of `operators` for the full map).
-    tb.connect(source, "docs", parser, Grouping::Shuffle);
+    //
+    // source → parser routes by the document's monotone sequence number, not
+    // by shuffle: threaded shuffle counters are task-local, so with N strided
+    // spout shards a shuffle would interleave shards across parsers and a
+    // parser's timestamp view could run backwards — breaking the tick fan-in
+    // invariant (a parser must never emit a round-r tagset after its round-r
+    // tick). Fields on `id` keeps parser `id % N` identical across runtimes:
+    // shard t owns positions ≡ t (mod N), so it lands wholly on parser t.
+    tb.connect(
+        source,
+        "docs",
+        parser,
+        Grouping::Fields(Arc::new(|m: &Msg| match m {
+            Msg::Doc(d) => d.id,
+            _ => 0,
+        })),
+    );
     tb.connect(parser, "tagsets", disseminator, Grouping::Shuffle);
     tb.connect(
         parser,
@@ -402,7 +566,10 @@ fn run_with_publisher(
         }
         RunMode::Threaded => {
             let stats = run_threaded_batched(topology, ThreadedConfig::default(), batch_policy());
-            (stats.processed[1], Some(stats.busy_seconds))
+            (
+                stats.processed[1],
+                Some((stats.busy_seconds, stats.task_busy_seconds)),
+            )
         }
     };
     let rec = recorder.lock();
@@ -416,8 +583,11 @@ fn run_with_publisher(
         &rec,
     );
     report.backend = config.backend.name().to_string();
-    if let Some(busy) = busy {
-        report.operator_seconds = names.into_iter().zip(busy).collect();
+    if let Some((busy, per_task)) = busy {
+        // per-instance attribution aggregates into the per-component total:
+        // `operator_seconds[c]` is the sum of `operator_task_seconds[c]`
+        report.operator_seconds = names.iter().cloned().zip(busy).collect();
+        report.operator_task_seconds = names.into_iter().zip(per_task).collect();
     }
     if let Some(counters) = serve_counters {
         report.snapshots_published = counters.snapshots_published();

@@ -25,13 +25,22 @@
 //! Ticks reach Calculators *through* the Disseminator so that, on both
 //! runtimes, every notification of a round is delivered before the tick that
 //! closes it (single FIFO channel per Disseminator → Calculator pair).
+//!
+//! With a data-parallel front (`N` Parser instances), every Parser emits its
+//! own tick per round boundary, so the Disseminator and the Baseline run a
+//! *tick fan-in barrier*: round `r` closes downstream only after all `N`
+//! ticks for `r` arrived, and tagsets of later rounds wait in a per-round
+//! buffer behind the barrier. Per-parser FIFO order guarantees a round-`r`
+//! tagset always precedes that parser's tick `r`, so a complete fan-in
+//! implies the round's evidence is complete — exactly the degree-1 round
+//! semantics, for any `N`.
 
 use crate::messages::Msg;
 use crate::recorder::SharedRecorder;
 use setcorr_core::{
     disjoint_sets, partition_setcover, plan_handoff, AlgorithmKind, Calculator, CorrelationBackend,
     Disseminator, DisseminatorAction, DisseminatorConfig, Merger, MigrationBundle, PartitionInput,
-    PartitionSet, PartitionerOutput, SetCoverVariant, Tracker,
+    PartitionSet, PartitionerOutput, QualityReference, SetCoverVariant, Tracker,
 };
 use setcorr_engine::{Bolt, ComponentId, Emitter};
 use setcorr_model::{
@@ -375,6 +384,21 @@ pub struct DisseminatorBolt {
     /// whole incoming batch routes into these, then leaves as one
     /// `emit_direct_batch` per touched Calculator.
     notif_batch: Vec<Vec<Msg>>,
+    /// Parser instances feeding this bolt — the tick fan-in width. At 1
+    /// (the default) every fan-in structure below stays untouched and the
+    /// behaviour is bit-for-bit the single-parser protocol.
+    n_parsers: usize,
+    /// Report period `y`, for deriving a tagset's round from its event
+    /// timestamp (consulted only when `n_parsers > 1`).
+    report_period: TimeDelta,
+    /// Next round to relay downstream = rounds whose fan-in completed.
+    relay_round: u64,
+    /// Tick arrivals per not-yet-closed round.
+    ticks_seen: FxHashMap<u64, usize>,
+    /// Tagsets of rounds beyond `relay_round`, held (in arrival order) until
+    /// every intervening round's fan-in completes — no evidence may cross a
+    /// round barrier.
+    round_buffer: std::collections::BTreeMap<u64, Vec<TagSet>>,
     recorder: SharedRecorder,
 }
 
@@ -415,6 +439,11 @@ impl DisseminatorBolt {
             bootstrap_buffer: std::collections::VecDeque::new(),
             route_scratch: setcorr_core::RouteResult::default(),
             notif_batch: (0..k).map(|_| Vec::new()).collect(),
+            n_parsers: 1,
+            report_period: TimeDelta::from_secs(1),
+            relay_round: 0,
+            ticks_seen: FxHashMap::default(),
+            round_buffer: std::collections::BTreeMap::new(),
             recorder,
         }
     }
@@ -424,6 +453,31 @@ impl DisseminatorBolt {
     /// owners instead of stranding it.
     pub fn with_live_migration(mut self, on: bool) -> Self {
         self.live_migration = on;
+        self
+    }
+
+    /// Data-parallel front: `n` Parser instances feed this bolt, each
+    /// emitting its own tick per round boundary. `report_period` is the
+    /// Parsers' period `y`, used to derive a tagset's round from its event
+    /// timestamp for the fan-in buffer.
+    pub fn with_parser_fanin(mut self, n: usize, report_period: TimeDelta) -> Self {
+        self.n_parsers = n.max(1);
+        self.report_period = report_period;
+        self
+    }
+
+    /// Install a partition map before the stream starts, skipping the
+    /// bootstrap request/hold/replay phase entirely. With the map pinned
+    /// (and `thr` high enough that drift never triggers), routing becomes a
+    /// pure function of each tagset — the deterministic anchor the parallel
+    /// equivalence suite compares threaded runs against.
+    pub fn with_initial_partitions(
+        mut self,
+        partitions: &PartitionSet,
+        reference: QualityReference,
+    ) -> Self {
+        self.dissem.install_partitions(partitions, reference);
+        self.installed_epoch = Some(0);
         self
     }
 
@@ -484,7 +538,7 @@ impl Bolt<Msg> for DisseminatorBolt {
                     }
                     return;
                 }
-                self.route_tagset(tags, out);
+                self.admit_tagset(time, tags, out);
             }
             Msg::Tick { round, time } => {
                 if self.bootstrap_requested && !self.dissem.has_partitions() {
@@ -493,7 +547,7 @@ impl Bolt<Msg> for DisseminatorBolt {
                     self.bootstrap_buffer.push_back(Msg::Tick { round, time });
                     return;
                 }
-                self.relay_tick(round, time, out);
+                self.ingest_tick(round, time, out);
             }
             Msg::NewPartitions {
                 epoch,
@@ -526,8 +580,8 @@ impl Bolt<Msg> for DisseminatorBolt {
                 // under the freshly installed map.
                 while let Some(held) = self.bootstrap_buffer.pop_front() {
                     match held {
-                        Msg::TagSet { tags, .. } => self.route_tagset(tags, out),
-                        Msg::Tick { round, time } => self.relay_tick(round, time, out),
+                        Msg::TagSet { time, tags } => self.admit_tagset(time, tags, out),
+                        Msg::Tick { round, time } => self.ingest_tick(round, time, out),
                         _ => unreachable!("only stream messages are buffered"),
                     }
                 }
@@ -551,7 +605,15 @@ impl Bolt<Msg> for DisseminatorBolt {
             match msg {
                 Msg::TagSet { time, tags } => {
                     if self.dissem.has_partitions() {
-                        self.route_tagset_inner(tags, out, true);
+                        if self.n_parsers > 1 && self.tagset_round(time) > self.relay_round {
+                            // ahead of an open round's fan-in barrier
+                            self.round_buffer
+                                .entry(self.tagset_round(time))
+                                .or_default()
+                                .push(tags);
+                        } else {
+                            self.route_tagset_inner(tags, out, true);
+                        }
                     } else {
                         // bootstrap: the per-message path owns the hold/replay
                         self.on_message(Msg::TagSet { time, tags }, out);
@@ -572,9 +634,26 @@ impl Bolt<Msg> for DisseminatorBolt {
         while let Some(held) = self.bootstrap_buffer.pop_front() {
             match held {
                 Msg::TagSet { .. } => self.unrouted += 1,
-                Msg::Tick { round, time } => self.relay_tick(round, time, out),
+                Msg::Tick { round, time } => self.ingest_tick(round, time, out),
                 _ => {}
             }
+        }
+        // Data-parallel front: shards end at different max rounds, so the
+        // last rounds never complete their fan-in. Force-close them in
+        // ascending round order — held tagsets route first, then the tick
+        // relays, preserving the degree-1 round/evidence order exactly.
+        while !self.ticks_seen.is_empty() || !self.round_buffer.is_empty() {
+            let r = self.relay_round;
+            if let Some(held) = self.round_buffer.remove(&r) {
+                for tags in held {
+                    self.route_tagset(tags, out);
+                }
+            }
+            if self.ticks_seen.remove(&r).is_some() {
+                let time = Timestamp((r + 1) * self.report_period.millis());
+                self.relay_tick(r, time, out);
+            }
+            self.relay_round = r + 1;
         }
         self.flush_sample();
     }
@@ -660,6 +739,56 @@ impl DisseminatorBolt {
     fn relay_tick(&mut self, round: u64, time: Timestamp, out: &mut dyn Emitter<Msg>) {
         self.flush_sample();
         out.emit("calcticks", Msg::Tick { round, time });
+    }
+
+    /// The report round a tagset's event timestamp falls into.
+    fn tagset_round(&self, time: Timestamp) -> u64 {
+        time.millis() / self.report_period.millis()
+    }
+
+    /// Route a live tagset, or hold it behind the fan-in barrier when its
+    /// round is still waiting on ticks from slower Parser instances.
+    fn admit_tagset(&mut self, time: Timestamp, tags: TagSet, out: &mut dyn Emitter<Msg>) {
+        if self.n_parsers > 1 {
+            let round = self.tagset_round(time);
+            if round > self.relay_round {
+                self.round_buffer.entry(round).or_default().push(tags);
+                return;
+            }
+        }
+        self.route_tagset(tags, out);
+    }
+
+    /// Tick fan-in: with one Parser this relays immediately (the historical
+    /// protocol); with `N` Parsers each round closes once, when its `N`th
+    /// tick arrives, and the next round's held tagsets route right after.
+    /// Per-parser FIFO order means a complete fan-in implies every round-`r`
+    /// tagset was already admitted — the barrier can never close early.
+    fn ingest_tick(&mut self, round: u64, time: Timestamp, out: &mut dyn Emitter<Msg>) {
+        if self.n_parsers <= 1 {
+            self.relay_tick(round, time, out);
+            return;
+        }
+        if round < self.relay_round {
+            return; // round already force-closed (possible only at shutdown)
+        }
+        *self.ticks_seen.entry(round).or_insert(0) += 1;
+        while self
+            .ticks_seen
+            .get(&self.relay_round)
+            .is_some_and(|&n| n >= self.n_parsers)
+        {
+            let r = self.relay_round;
+            self.ticks_seen.remove(&r);
+            let time = Timestamp((r + 1) * self.report_period.millis());
+            self.relay_tick(r, time, out);
+            self.relay_round = r + 1;
+            if let Some(held) = self.round_buffer.remove(&self.relay_round) {
+                for tags in held {
+                    self.route_tagset(tags, out);
+                }
+            }
+        }
     }
 }
 
@@ -1059,6 +1188,19 @@ pub struct BaselineBolt {
     round_occurrences: FxHashMap<TagSet, u64>,
     /// Occurrences across the whole run (≥ 2 tags only).
     run_occurrences: FxHashMap<TagSet, u64>,
+    /// Parser instances feeding this bolt (tick fan-in width; 1 = the
+    /// historical single-parser protocol, no fan-in structures touched).
+    n_parsers: usize,
+    /// Report period, for deriving a tagset's round from its timestamp
+    /// (consulted only when `n_parsers > 1`).
+    report_period: TimeDelta,
+    /// Next round to close = rounds whose tick fan-in completed.
+    relay_round: u64,
+    /// Tick arrivals per open round.
+    ticks_seen: FxHashMap<u64, usize>,
+    /// Tagsets of rounds beyond `relay_round`, observed only once every
+    /// intervening round has closed.
+    round_buffer: std::collections::BTreeMap<u64, Vec<TagSet>>,
     recorder: SharedRecorder,
 }
 
@@ -1069,8 +1211,21 @@ impl BaselineBolt {
             calc: Calculator::new(),
             round_occurrences: FxHashMap::default(),
             run_occurrences: FxHashMap::default(),
+            n_parsers: 1,
+            report_period: TimeDelta::from_secs(1),
+            relay_round: 0,
+            ticks_seen: FxHashMap::default(),
+            round_buffer: std::collections::BTreeMap::new(),
             recorder,
         }
+    }
+
+    /// Data-parallel front: `n` Parser instances feed this bolt, each with
+    /// its own per-round tick (see [`DisseminatorBolt::with_parser_fanin`]).
+    pub fn with_parser_fanin(mut self, n: usize, report_period: TimeDelta) -> Self {
+        self.n_parsers = n.max(1);
+        self.report_period = report_period;
+        self
     }
 }
 
@@ -1082,33 +1237,78 @@ impl BaselineBolt {
         }
         self.calc.observe_n(&tags, n);
     }
+
+    /// Observe a tagset, or hold it when its round is still behind the tick
+    /// fan-in barrier.
+    fn admit_tagset(&mut self, time: Timestamp, tags: TagSet) {
+        if self.n_parsers > 1 {
+            let round = time.millis() / self.report_period.millis();
+            if round > self.relay_round {
+                self.round_buffer.entry(round).or_default().push(tags);
+                return;
+            }
+        }
+        self.observe_tagset(tags, 1);
+    }
+
+    /// Report and reset the round's exact coefficients.
+    fn close_round(&mut self, round: u64) {
+        let mut reports: Vec<setcorr_core::CoefficientReport> = Vec::new();
+        for (tags, &n) in &self.round_occurrences {
+            let jaccard = self
+                .calc
+                .jaccard(tags)
+                .expect("observed tagsets have coefficients");
+            reports.push(setcorr_core::CoefficientReport {
+                tags: tags.clone(),
+                jaccard,
+                counter: n,
+            });
+        }
+        reports.sort_unstable_by(|a, b| a.tags.cmp(&b.tags));
+        self.recorder.lock().baseline_rounds.insert(round, reports);
+        // the round's coefficients were just queried directly —
+        // clear the counters without deriving a report for every
+        // tracked subset only to discard it
+        self.calc.reset();
+        self.round_occurrences.clear();
+    }
+
+    /// Tick fan-in, mirroring [`DisseminatorBolt::ingest_tick`]: each round
+    /// closes once all `n_parsers` ticks for it arrived, then the next
+    /// round's held tagsets are observed.
+    fn ingest_tick(&mut self, round: u64) {
+        if self.n_parsers <= 1 {
+            self.close_round(round);
+            return;
+        }
+        if round < self.relay_round {
+            return; // round already force-closed (possible only at shutdown)
+        }
+        *self.ticks_seen.entry(round).or_insert(0) += 1;
+        while self
+            .ticks_seen
+            .get(&self.relay_round)
+            .is_some_and(|&n| n >= self.n_parsers)
+        {
+            let r = self.relay_round;
+            self.ticks_seen.remove(&r);
+            self.close_round(r);
+            self.relay_round = r + 1;
+            if let Some(held) = self.round_buffer.remove(&self.relay_round) {
+                for tags in held {
+                    self.observe_tagset(tags, 1);
+                }
+            }
+        }
+    }
 }
 
 impl Bolt<Msg> for BaselineBolt {
     fn on_message(&mut self, msg: Msg, _out: &mut dyn Emitter<Msg>) {
         match msg {
-            Msg::TagSet { tags, .. } => self.observe_tagset(tags, 1),
-            Msg::Tick { round, .. } => {
-                let mut reports: Vec<setcorr_core::CoefficientReport> = Vec::new();
-                for (tags, &n) in &self.round_occurrences {
-                    let jaccard = self
-                        .calc
-                        .jaccard(tags)
-                        .expect("observed tagsets have coefficients");
-                    reports.push(setcorr_core::CoefficientReport {
-                        tags: tags.clone(),
-                        jaccard,
-                        counter: n,
-                    });
-                }
-                reports.sort_unstable_by(|a, b| a.tags.cmp(&b.tags));
-                self.recorder.lock().baseline_rounds.insert(round, reports);
-                // the round's coefficients were just queried directly —
-                // clear the counters without deriving a report for every
-                // tracked subset only to discard it
-                self.calc.reset();
-                self.round_occurrences.clear();
-            }
+            Msg::TagSet { time, tags } => self.admit_tagset(time, tags),
+            Msg::Tick { round, .. } => self.ingest_tick(round),
             _ => {}
         }
     }
@@ -1119,13 +1319,28 @@ impl Bolt<Msg> for BaselineBolt {
     fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
         for msg in msgs {
             match msg {
-                Msg::TagSet { tags, .. } => self.observe_tagset(tags, 1),
+                Msg::TagSet { time, tags } => self.admit_tagset(time, tags),
                 other => self.on_message(other, out),
             }
         }
     }
 
     fn on_flush(&mut self, _out: &mut dyn Emitter<Msg>) {
+        // Data-parallel front: the last rounds never complete their fan-in
+        // (shards end at different max rounds) — force-close them in
+        // ascending order, observing each round's held tagsets first.
+        while !self.ticks_seen.is_empty() || !self.round_buffer.is_empty() {
+            let r = self.relay_round;
+            if let Some(held) = self.round_buffer.remove(&r) {
+                for tags in held {
+                    self.observe_tagset(tags, 1);
+                }
+            }
+            if self.ticks_seen.remove(&r).is_some() {
+                self.close_round(r);
+            }
+            self.relay_round = r + 1;
+        }
         let mut rec = self.recorder.lock();
         for (tags, n) in self.run_occurrences.drain() {
             *rec.baseline_occurrences.entry(tags).or_insert(0) += n;

@@ -75,6 +75,12 @@ pub struct RunReport {
     /// meaningful per-operator clock). Lets the e2e bench say *where* a
     /// run's time went instead of only how long it took.
     pub operator_seconds: Vec<(String, f64)>,
+    /// Per-instance breakdown behind [`RunReport::operator_seconds`]:
+    /// `(component, seconds per task)` in declaration order (threaded runs
+    /// only). With a data-parallel front this distinguishes one hot
+    /// instance from `N` evenly-loaded ones; each component's
+    /// `operator_seconds` entry is the sum of its per-task entries.
+    pub operator_task_seconds: Vec<(String, Vec<f64>)>,
     /// Deduplicated coefficients per report round (round id ascending),
     /// skipped in JSON — the downstream-analytics feed (§6.2's Tracker
     /// output; what enBlogue-style trend detection consumes).
@@ -150,6 +156,7 @@ impl RunReport {
                 .map(|&(x, cause)| (x, cause.to_string()))
                 .collect(),
             operator_seconds: Vec::new(),
+            operator_task_seconds: Vec::new(),
             tracked_rounds: {
                 let mut rounds: Vec<(u64, Vec<setcorr_core::TrackedCoefficient>)> = recorder
                     .tracked_rounds
@@ -266,6 +273,23 @@ impl RunReport {
             push_json_string(&mut out, name);
             out.push(':');
             out.push_str(&format!("{secs:.4}"));
+        }
+        out.push('}');
+        out.push(',');
+        out.push_str("\"operator_task_seconds\":{");
+        for (i, (name, tasks)) in self.operator_task_seconds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push_str(":[");
+            for (j, secs) in tasks.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{secs:.4}"));
+            }
+            out.push(']');
         }
         out.push('}');
         out.push('}');

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use setcorr_serve::{QueryHandle, Snapshot};
     pub use setcorr_theory::{expected_communication, WindowScenario};
     pub use setcorr_topology::{
-        connectivity, run, run_docs, run_served, spawn_served, BackendKind, ConnectivitySummary,
-        ExperimentConfig, LiveRun, RunMode, RunReport,
+        bootstrap_partitions, connectivity, run, run_docs, run_served, spawn_served, BackendKind,
+        ConnectivitySummary, ExperimentConfig, LiveRun, PinnedPartitions, RunMode, RunReport,
     };
     pub use setcorr_workload::{Generator, WorkloadConfig};
 }

@@ -181,6 +181,49 @@ fn threaded_runtime_agrees_on_stream_invariants() {
 }
 
 #[test]
+fn threaded_sharded_front_agrees_on_stream_invariants() {
+    // The degree-4 restatement of `threaded_runtime_agrees_on_stream_
+    // invariants`. FIFO is now a *per-channel* property: each of the four
+    // parsers delivers its own tagsets and ticks in order, but nothing
+    // orders the channels against each other — round completeness at the
+    // Disseminator/Baseline instead comes from the tick fan-in barrier
+    // (round r closes only after all four parsers ticked r). The stream
+    // invariants below must therefore hold at degree 4 exactly as at
+    // degree 1, with the same routed-volume band against the sim oracle.
+    let docs = stream(7, 30_000);
+    let config = small_config(AlgorithmKind::Ds);
+    let sim = run_docs(&config, docs.clone(), RunMode::Sim);
+    let threaded = run_docs(
+        &config.clone().with_front_parallelism(4),
+        docs.clone(),
+        RunMode::Threaded,
+    );
+    assert_eq!(sim.documents, threaded.documents);
+    assert!(threaded.merges >= 1);
+    assert!(threaded.routed_tagsets > 0);
+    assert!(threaded.avg_communication >= 1.0);
+    assert!(threaded.coverage > 0.80, "coverage {}", threaded.coverage);
+    // Conservation across the sharded front: every ≥1-tag tagset reaches
+    // the Disseminator exactly once — the shards partition the stream, the
+    // fan-in buffer releases each held tagset exactly once.
+    let tagged = docs.iter().filter(|d| !d.tags.is_empty()).count() as u64;
+    assert_eq!(
+        threaded.routed_tagsets + threaded.unrouted_tagsets,
+        tagged,
+        "sharded front lost or duplicated tagsets"
+    );
+    // The bootstrap hold-and-replay still costs latency, not volume, with
+    // four parsers upstream: same band as the degree-1 variant.
+    let ratio = threaded.routed_tagsets as f64 / sim.routed_tagsets as f64;
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "routed volume diverged: sim {} vs threaded degree 4 {}",
+        sim.routed_tagsets,
+        threaded.routed_tagsets
+    );
+}
+
+#[test]
 fn higher_threshold_means_fewer_or_equal_repartitions() {
     let docs = stream(8, 60_000);
     let mut tight = small_config(AlgorithmKind::Scc);
