@@ -71,6 +71,16 @@ pub struct IngestReport {
     /// Full threaded topology without batching (per-tuple delivery),
     /// docs/sec.
     pub e2e_unbatched_docs_per_sec: f64,
+    /// Full threaded topology under the supervised runtime with an empty
+    /// fault plan (catch-unwind wrappers, checkpoint capture and replay
+    /// buffering armed but never exercised), docs/sec. The recorded ratio
+    /// against `e2e_batched_docs_per_sec` is the supervision overhead on
+    /// the fault-free fast path.
+    pub e2e_supervised_docs_per_sec: f64,
+    /// Faults injected during the recorded runs — always 0: the perf
+    /// trajectory records fault-free measurements only, and the stamp
+    /// makes that explicit in every history line.
+    pub faults: u64,
     /// Per-operator wall-time attribution of the best batched e2e run
     /// `(component, seconds inside its operator callbacks)` — where the
     /// run's time went, not just how long it took.
@@ -104,7 +114,9 @@ impl IngestReport {
                 "\"docs_per_sec\":{:.1},\"speedup\":{:.3},",
                 "\"subsets_per_sec\":{:.1},\"route_docs_per_sec\":{:.1},",
                 "\"e2e_batched_docs_per_sec\":{:.1},",
-                "\"e2e_unbatched_docs_per_sec\":{:.1},\"batch\":{},",
+                "\"e2e_unbatched_docs_per_sec\":{:.1},",
+                "\"e2e_supervised_docs_per_sec\":{:.1},",
+                "\"faults\":{},\"batch\":{},",
                 "\"e2e_operator_seconds\":{},\"parallelism\":{},",
                 "\"git_rev\":\"{}\",\"mode\":\"{}\"}}"
             ),
@@ -118,6 +130,8 @@ impl IngestReport {
             self.route_docs_per_sec,
             self.e2e_batched_docs_per_sec,
             self.e2e_unbatched_docs_per_sec,
+            self.e2e_supervised_docs_per_sec,
+            self.faults,
             THREADED_BATCH,
             operator,
             self.parallelism,
@@ -137,6 +151,7 @@ impl IngestReport {
                 "  route_into                       {:>12.0} docs/s\n",
                 "  e2e threaded ×{} (per-tuple)      {:>12.0} docs/s\n",
                 "  e2e threaded ×{} (vector., b={})  {:>12.0} docs/s\n",
+                "  e2e supervised ×{} (fault-free)   {:>12.0} docs/s\n",
                 "  heap allocs avoided/pass         {:>12}\n"
             ),
             self.docs,
@@ -151,6 +166,8 @@ impl IngestReport {
             self.parallelism,
             THREADED_BATCH,
             self.e2e_batched_docs_per_sec,
+            self.parallelism,
+            self.e2e_supervised_docs_per_sec,
             self.allocs_avoided,
         );
         if !self.e2e_operator_seconds.is_empty() {
@@ -425,7 +442,8 @@ pub fn measure(quick: bool, parallelism: usize) -> IngestReport {
     // Two reps even in quick mode: the e2e pair is best-of, and a single
     // rep is noisy enough on a busy CI box to trip the regression gate.
     let e2e_reps = 2;
-    let (mut best_batched, mut best_unbatched) = (f64::MAX, f64::MAX);
+    let (mut best_batched, mut best_unbatched, mut best_supervised) =
+        (f64::MAX, f64::MAX, f64::MAX);
     let mut e2e_documents = 0u64;
     let mut e2e_operator_seconds: Vec<(String, f64)> = Vec::new();
     for _ in 0..e2e_reps {
@@ -463,9 +481,29 @@ pub fn measure(quick: bool, parallelism: usize) -> IngestReport {
         let start = Instant::now();
         std::hint::black_box(setcorr_engine::run_threaded(topology));
         best_unbatched = best_unbatched.min(start.elapsed().as_secs_f64());
+
+        // supervised runtime, empty fault plan: the wrappers are the only
+        // difference from the batched run above
+        let recorder = RunRecorder::shared(config.k);
+        let topology = build_topology(
+            &config,
+            Box::new(e2e_docs.clone().into_iter()),
+            recorder.clone(),
+        );
+        let start = Instant::now();
+        let stats = setcorr_engine::run_threaded_supervised(
+            topology,
+            setcorr_engine::ThreadedConfig::default(),
+            setcorr_topology::batch_policy(),
+            setcorr_engine::SuperviseConfig::default(),
+        )
+        .expect("fault-free supervised e2e run failed");
+        best_supervised = best_supervised.min(start.elapsed().as_secs_f64());
+        assert_eq!(stats.faults_injected, 0, "bench runs must be fault-free");
     }
     let e2e_batched_docs_per_sec = e2e_documents as f64 / best_batched.max(1e-9);
     let e2e_unbatched_docs_per_sec = e2e_documents as f64 / best_unbatched.max(1e-9);
+    let e2e_supervised_docs_per_sec = e2e_documents as f64 / best_supervised.max(1e-9);
 
     IngestReport {
         docs,
@@ -478,6 +516,8 @@ pub fn measure(quick: bool, parallelism: usize) -> IngestReport {
         route_docs_per_sec,
         e2e_batched_docs_per_sec,
         e2e_unbatched_docs_per_sec,
+        e2e_supervised_docs_per_sec,
+        faults: 0,
         e2e_operator_seconds,
         parallelism,
         git_rev: git_rev(),
@@ -615,6 +655,8 @@ mod tests {
             route_docs_per_sec: 3.0,
             e2e_batched_docs_per_sec: 4.0,
             e2e_unbatched_docs_per_sec: 3.5,
+            e2e_supervised_docs_per_sec: 3.9,
+            faults: 0,
             e2e_operator_seconds: vec![("parser".to_string(), 0.25), ("baseline".to_string(), 1.5)],
             parallelism: 4,
             git_rev: "abc1234".to_string(),
@@ -629,6 +671,8 @@ mod tests {
         assert!(j.contains("\"speedup\":2.500"));
         assert!(j.contains("\"docs\":10"));
         assert!(j.contains("\"e2e_operator_seconds\":{\"parser\":0.2500,\"baseline\":1.5000}"));
+        assert!(j.contains("\"e2e_supervised_docs_per_sec\":3.9"));
+        assert!(j.contains("\"faults\":0"));
         assert!(j.contains("\"parallelism\":4"));
         assert!(j.contains("\"git_rev\":\"abc1234\""));
         assert!(j.contains("\"mode\":\"quick\""));

@@ -19,11 +19,17 @@
 #![warn(missing_docs)]
 
 pub mod sim;
+pub mod supervise;
 pub mod threaded;
 pub mod topology;
 
 pub use sim::{run_sim, run_sim_batched, SimStats};
+pub use supervise::{
+    run_threaded_supervised, FaultSpec, RestartPolicy, SuperviseConfig, SupervisedStats,
+};
 pub use threaded::{
-    run_threaded, run_threaded_batched, run_threaded_with, BatchPolicy, ThreadStats, ThreadedConfig,
+    run_threaded, run_threaded_batched, run_threaded_with, try_run_threaded,
+    try_run_threaded_batched, try_run_threaded_with, BatchPolicy, RunError, ThreadStats,
+    ThreadedConfig,
 };
 pub use topology::{Bolt, ComponentId, Emitter, Grouping, Spout, Topology, TopologyBuilder};

@@ -1,0 +1,953 @@
+//! Supervised threaded runtime: fault injection, checkpointed recovery,
+//! graceful degradation.
+//!
+//! The bare threaded runtime treats a panicking task as fatal: the panic
+//! propagates out of the join path and the run is lost. This module wraps
+//! every operator callback in `catch_unwind` and puts a *supervisor* around
+//! each task's message loop:
+//!
+//! 1. **Detect** — a panic inside `on_message`/`on_batch` is caught; the
+//!    message loop, channels and emitter survive.
+//! 2. **Decide** — a per-component [`RestartPolicy`] grants bounded retries
+//!    with exponential backoff. Backoff is measured in *processed-message
+//!    counts*, not wall clock, so recovery decisions replay deterministically
+//!    under test.
+//! 3. **Recover** — the bolt is rebuilt from its component factory and
+//!    restored from the latest *checkpoint* ([`crate::topology::Bolt::checkpoint`] /
+//!    [`crate::topology::Bolt::restore`]), captured after every barrier message (round
+//!    ticks, fences — the protocol's consistent cut points). For
+//!    [`crate::topology::Bolt::replayable`] bolts the supervisor also keeps a *replay
+//!    buffer* of every envelope since the last checkpoint and re-feeds it,
+//!    so the open round's work is redone byte-for-byte.
+//! 4. **Degrade** — when retries are exhausted the task is *tombstoned*:
+//!    [`crate::topology::Bolt::tombstone`] installs a stand-in that keeps the control
+//!    protocols live (fences answered, round barriers forwarded) while doing
+//!    no real work, so the run finishes with a partial-but-honest report
+//!    instead of wedging the topology. A run with zero live instances of an
+//!    operator still terminates.
+//!
+//! A *starvation detector* backstops the post-end-of-stream drain: if a task
+//! is owed a control message that will never arrive (its sender died, or a
+//! fault plan dropped the message), the drain would otherwise spin forever.
+//! After [`SuperviseConfig::drain_patience`] consecutive empty polls in that
+//! state, the task force-degrades and the run completes.
+//!
+//! # Deterministic fault injection
+//!
+//! [`FaultSpec`] describes *when* to hurt a task in terms of its own message
+//! counts — "kill calculator task 2 after its 1000th message", "drop the
+//! 1st control envelope into task 0". Counts, not timers: the same plan on
+//! the same input produces the same fault at the same point in the stream,
+//! every run. Injected panics carry an `"injected fault"` payload prefix so
+//! [`SupervisedStats::faults_injected`] can tell them apart from genuine
+//! bugs surfacing mid-test.
+
+use crate::threaded::{
+    decode_panic, slot_capacity, wire, BatchPolicy, Envelope, RunError, ThreadStats,
+    ThreadedConfig, ThreadedEmitter, Wiring,
+};
+use crate::topology::{Bolt, ComponentId, ComponentKind, Emitter, Topology};
+use crossbeam::channel::{Receiver, TryRecvError};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// How often a failing task may be restarted, and how long it must behave
+/// before its failure count resets.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPolicy {
+    /// Consecutive restarts granted before the task degrades. `0` means a
+    /// single failure tombstones the task immediately.
+    pub max_restarts: u32,
+    /// Backoff unit, in processed messages: after the `k`-th consecutive
+    /// failure the task must process `backoff_base << (k-1)` messages
+    /// without failing before its failure count resets. No wall clock is
+    /// consulted anywhere in the restart decision.
+    pub backoff_base: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 2,
+            backoff_base: 64,
+        }
+    }
+}
+
+/// One deterministic fault, scheduled against a task's own message counts.
+#[derive(Debug, Clone)]
+pub enum FaultSpec {
+    /// Panic inside the task's callback just before it would process the
+    /// message after its `after_messages`-th. Fires once.
+    KillTask {
+        /// Component to hurt.
+        component: ComponentId,
+        /// Task (instance) index within the component.
+        task: usize,
+        /// Processed-message count at which the kill fires.
+        after_messages: u64,
+    },
+    /// Silently discard the `nth` (1-indexed) control-inbox envelope bound
+    /// for the task — a lost migration bundle. The starvation detector is
+    /// what recovers the topology afterwards.
+    DropControl {
+        /// Component to hurt.
+        component: ComponentId,
+        /// Task (instance) index within the component.
+        task: usize,
+        /// 1-indexed control-envelope ordinal to drop.
+        nth: u64,
+    },
+}
+
+/// Configuration of the supervised runtime.
+#[derive(Clone)]
+pub struct SuperviseConfig {
+    /// Restart policy applied to every component.
+    pub restart: RestartPolicy,
+    /// Deterministic fault schedule (empty = supervise only).
+    pub faults: Vec<FaultSpec>,
+    /// Consecutive empty polls tolerated in the post-Eos drain while the
+    /// bolt still reports un-drained, before force-degrading it (the lost
+    /// control message is never coming). Polls park ~50µs, so the default
+    /// ≈ 3s of silence.
+    pub drain_patience: u64,
+    /// Max envelopes held for replay between checkpoints; beyond it the
+    /// buffer is abandoned for the current checkpoint interval (recovery
+    /// then restores state without redoing the open round's tail).
+    pub replay_cap: usize,
+    /// Invoked (component, task) whenever a task degrades, before the run
+    /// finishes — lets the embedding route around the dead operator while
+    /// the topology is still live.
+    pub on_degrade: Option<Arc<dyn Fn(ComponentId, usize) + Send + Sync>>,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            restart: RestartPolicy::default(),
+            faults: Vec::new(),
+            drain_patience: 60_000,
+            replay_cap: 65_536,
+            on_degrade: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SuperviseConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuperviseConfig")
+            .field("restart", &self.restart)
+            .field("faults", &self.faults)
+            .field("drain_patience", &self.drain_patience)
+            .field("replay_cap", &self.replay_cap)
+            .field("on_degrade", &self.on_degrade.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+/// What a supervised run reports beyond the usual [`ThreadStats`].
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedStats {
+    /// The per-component processing statistics of the run.
+    pub stats: ThreadStats,
+    /// Faults fired by the [`FaultSpec`] schedule (kills, drops) plus any
+    /// topology-level injected panics (payload prefixed `"injected fault"`).
+    pub faults_injected: u64,
+    /// Successful restarts (rebuild + restore) performed.
+    pub tasks_restarted: u64,
+    /// Recoveries that re-fed a replay buffer (one open round's tail each).
+    pub rounds_replayed: u64,
+    /// Tasks that exhausted their restart budget (or starved in the drain)
+    /// and were tombstoned.
+    pub degraded_tasks: Vec<(ComponentId, usize)>,
+    /// Send-timeout faults absorbed by supervision.
+    pub send_timeouts: u64,
+}
+
+/// Default tombstone: drops every message, emits nothing, always drained.
+struct Blackhole;
+
+impl<M: Send> Bolt<M> for Blackhole {
+    fn on_message(&mut self, _msg: M, _out: &mut dyn Emitter<M>) {}
+    fn on_batch(&mut self, _msgs: Vec<M>, _out: &mut dyn Emitter<M>) {}
+}
+
+/// Shared counters the task supervisors report into.
+#[derive(Default)]
+struct Ledger {
+    faults_injected: AtomicU64,
+    tasks_restarted: AtomicU64,
+    rounds_replayed: AtomicU64,
+    send_timeouts: AtomicU64,
+    degraded: Mutex<Vec<(ComponentId, usize)>>,
+}
+
+/// True when a panic payload is one of our scheduled faults.
+fn is_injected(payload: &(dyn std::any::Any + Send)) -> bool {
+    let rendered = match payload.downcast_ref::<String>() {
+        Some(s) => s.as_str(),
+        None => match payload.downcast_ref::<&str>() {
+            Some(s) => s,
+            None => return false,
+        },
+    };
+    rendered.starts_with("injected fault")
+}
+
+/// Per-task supervisor state for one bolt task.
+struct TaskSupervisor<M> {
+    component: ComponentId,
+    task: usize,
+    factory: Arc<Mutex<crate::topology::BoltFactory<M>>>,
+    bolt: Box<dyn Bolt<M>>,
+    /// Latest barrier checkpoint (None until the bolt produces one).
+    checkpoint: Option<Box<dyn std::any::Any + Send>>,
+    /// Envelopes since the last checkpoint, for replayable bolts.
+    replay: Vec<Envelope<M>>,
+    replay_overflow: bool,
+    can_replay: bool,
+    /// Envelopes awaiting (re)delivery ahead of the channels.
+    pending: VecDeque<Envelope<M>>,
+    policy_restart: RestartPolicy,
+    replay_cap: usize,
+    /// Messages successfully processed (drives kill scheduling + backoff).
+    msgs_seen: u64,
+    consecutive_failures: u32,
+    cooldown: u64,
+    kill_at: Option<u64>,
+    degraded: bool,
+    ledger: Arc<Ledger>,
+    on_degrade: Option<Arc<dyn Fn(ComponentId, usize) + Send + Sync>>,
+}
+
+impl<M: Clone + Send + 'static> TaskSupervisor<M> {
+    /// Install the tombstone stand-in; the message loop keeps running so
+    /// the control protocols (fences, barriers) stay live downstream.
+    fn degrade(&mut self) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.bolt = self.bolt.tombstone().unwrap_or_else(|| Box::new(Blackhole));
+        self.checkpoint = None;
+        self.replay.clear();
+        self.can_replay = false;
+        self.kill_at = None;
+        self.ledger
+            .degraded
+            .lock()
+            .expect("ledger lock")
+            .push((self.component, self.task));
+        if let Some(cb) = &self.on_degrade {
+            cb(self.component, self.task);
+        }
+    }
+
+    /// Handle one panic out of a callback: count it, then restart (rebuild
+    /// + restore + queue the replay buffer) or degrade per policy.
+    fn recover(&mut self, payload: Box<dyn std::any::Any + Send>) {
+        if is_injected(&*payload) {
+            self.ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let (structured, _) = decode_panic(&*payload);
+        if matches!(structured, Some(RunError::SendTimeout { .. })) {
+            self.ledger.send_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures > self.policy_restart.max_restarts {
+            self.degrade();
+            return;
+        }
+        self.ledger.tasks_restarted.fetch_add(1, Ordering::Relaxed);
+        self.cooldown = self
+            .policy_restart
+            .backoff_base
+            .saturating_shl(self.consecutive_failures - 1);
+        // Rebuild from the factory, rewind to the latest barrier cut...
+        self.bolt = (self.factory.lock().expect("factory lock"))(self.task);
+        if let Some(cp) = &self.checkpoint {
+            self.bolt.restore(&**cp);
+        }
+        // ...and re-feed everything since it. The buffer includes the
+        // envelope whose processing just failed (pushed before delivery),
+        // so nothing is lost; it re-accumulates as the queue drains, which
+        // keeps a second failure mid-replay recoverable too.
+        if self.can_replay && !self.replay_overflow {
+            let buffered = std::mem::take(&mut self.replay);
+            if !buffered.is_empty() {
+                self.ledger.rounds_replayed.fetch_add(1, Ordering::Relaxed);
+                for env in buffered.into_iter().rev() {
+                    self.pending.push_front(env);
+                }
+            }
+        } else {
+            self.replay.clear();
+            self.replay_overflow = false;
+        }
+    }
+
+    /// Process one data-path envelope under supervision. Returns the number
+    /// of messages successfully processed (0 if the callback panicked).
+    fn process(
+        &mut self,
+        env: Envelope<M>,
+        emitter: &mut ThreadedEmitter<M>,
+        barrier: bool,
+    ) -> u64 {
+        let n = match &env {
+            Envelope::Data(_) => 1,
+            Envelope::Batch(msgs) => msgs.len() as u64,
+            Envelope::Eos => return 0,
+        };
+        let inject = !self.degraded && self.kill_at.map(|at| self.msgs_seen >= at).unwrap_or(false);
+        if inject {
+            self.kill_at = None;
+        }
+        // Replayable bolts buffer the envelope *before* processing: a panic
+        // mid-callback then redoes it from the checkpoint, byte-for-byte.
+        // Non-replayable bolts get clone-once redelivery only for injected
+        // kills, which fire before the callback touches anything.
+        let mut redeliver: Option<Envelope<M>> = None;
+        if self.can_replay {
+            if self.replay.len() >= self.replay_cap {
+                self.replay_overflow = true;
+                self.replay.clear();
+            } else {
+                self.replay.push(env.clone());
+            }
+        } else if inject {
+            redeliver = Some(env.clone());
+        }
+        let bolt = &mut self.bolt;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                std::panic::panic_any("injected fault: kill-task".to_string());
+            }
+            match env {
+                Envelope::Data(msg) => bolt.on_message(msg, emitter),
+                Envelope::Batch(msgs) => bolt.on_batch(msgs, emitter),
+                Envelope::Eos => unreachable!("handled above"),
+            }
+        }));
+        match result {
+            Ok(()) => {
+                self.msgs_seen += n;
+                if self.cooldown > 0 {
+                    self.cooldown = self.cooldown.saturating_sub(n);
+                    if self.cooldown == 0 {
+                        self.consecutive_failures = 0;
+                    }
+                }
+                if (barrier || emitter.barrier_emitted) && !self.degraded {
+                    emitter.barrier_emitted = false;
+                    if let Some(cp) = self.bolt.checkpoint() {
+                        self.checkpoint = Some(cp);
+                        self.replay.clear();
+                        self.replay_overflow = false;
+                    }
+                }
+                n
+            }
+            Err(payload) => {
+                self.recover(payload);
+                if let Some(env) = redeliver {
+                    self.pending.push_front(env);
+                }
+                0
+            }
+        }
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping (a backoff of
+/// `2^64` messages just means "never resets within this run").
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// Run `topology` under supervision: every callback in `catch_unwind`,
+/// bounded restarts from barrier checkpoints, graceful degradation, and the
+/// deterministic fault schedule of `sup.faults` applied along the way.
+///
+/// Returns [`SupervisedStats`] on any *supervised* outcome — including runs
+/// that degraded operators. `Err` is reserved for failures the supervisor
+/// cannot absorb (today: none on the bolt path; kept for parity with the
+/// fallible bare runtime and for spout-side invariants).
+pub fn run_threaded_supervised<M: Clone + Send + 'static>(
+    mut topology: Topology<M>,
+    config: ThreadedConfig,
+    policy: BatchPolicy<M>,
+    sup: SuperviseConfig,
+) -> Result<SupervisedStats, RunError> {
+    let n = topology.components.len();
+    let capacity = slot_capacity(&config, Some(&policy));
+    let send_tries = config.send_tries;
+    let Wiring {
+        mut receivers,
+        expected_eos,
+        edges_of,
+    } = wire(&mut topology, capacity);
+
+    let ledger = Arc::new(Ledger::default());
+    let parallelism_of: Vec<usize> = topology.components.iter().map(|s| s.parallelism).collect();
+    let component_names: Vec<String> = topology.components.iter().map(|s| s.name.clone()).collect();
+
+    type TaskResult = (ComponentId, usize, u64, u64, f64);
+    let mut handles: Vec<thread::JoinHandle<TaskResult>> = Vec::new();
+    let mut identities: Vec<(ComponentId, usize)> = Vec::new();
+
+    for (c, spec) in topology.components.into_iter().enumerate() {
+        let parallelism = spec.parallelism;
+        match spec.kind {
+            ComponentKind::Spout(mut factory) => {
+                for t in 0..parallelism {
+                    let mut spout = factory(t);
+                    let edges = edges_of[c].clone();
+                    let policy = policy.clone();
+                    let kill_at = kill_for(&sup.faults, c, t);
+                    let ledger = ledger.clone();
+                    let on_degrade = sup.on_degrade.clone();
+                    identities.push((c, t));
+                    handles.push(thread::spawn(move || {
+                        let mut emitter = ThreadedEmitter::new(edges, t, Some(&policy), send_tries);
+                        let mut produced = 0u64;
+                        let start = Instant::now();
+                        // A spout has no upstream to replay it, so its
+                        // supervision is detect-and-degrade: a panic (or an
+                        // injected kill) truncates the stream, Eos still
+                        // goes out, and the run finishes partial-but-honest.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            while let Some(msg) = spout.next() {
+                                if kill_at.map(|at| produced >= at).unwrap_or(false) {
+                                    std::panic::panic_any("injected fault: kill-task".to_string());
+                                }
+                                produced += 1;
+                                let stream =
+                                    emitter.edges.first().map(|e| e.stream).unwrap_or("out");
+                                emitter.emit(stream, msg);
+                            }
+                        }));
+                        if let Err(payload) = outcome {
+                            if is_injected(&*payload) {
+                                ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ledger.degraded.lock().expect("ledger lock").push((c, t));
+                            if let Some(cb) = &on_degrade {
+                                cb(c, t);
+                            }
+                        }
+                        let busy = start.elapsed().as_secs_f64();
+                        emitter.send_eos();
+                        (c, t, produced, emitter.emitted, busy)
+                    }));
+                }
+            }
+            ComponentKind::Bolt(factory) => {
+                let factory: Arc<Mutex<crate::topology::BoltFactory<M>>> =
+                    Arc::new(Mutex::new(factory));
+                for (t, slot) in receivers[c].iter_mut().enumerate() {
+                    let bolt = (factory.lock().expect("factory lock"))(t);
+                    let Some((data_rx, ctl_rx)) = slot.take() else {
+                        return Err(RunError::ReceiverTaken { id: c, task: t });
+                    };
+                    let edges = edges_of[c].clone();
+                    let policy = policy.clone();
+                    let quota = expected_eos[c];
+                    let factory = factory.clone();
+                    let ledger = ledger.clone();
+                    let sup = sup.clone();
+                    identities.push((c, t));
+                    handles.push(thread::spawn(move || {
+                        run_supervised_bolt_task(
+                            c, t, bolt, factory, data_rx, ctl_rx, edges, policy, quota, send_tries,
+                            ledger, sup,
+                        )
+                    }));
+                }
+            }
+        }
+    }
+
+    drop(edges_of);
+    drop(receivers);
+
+    let mut stats = ThreadStats {
+        processed: vec![0; n],
+        emitted: vec![0; n],
+        busy_seconds: vec![0.0; n],
+        task_busy_seconds: parallelism_of.iter().map(|&p| vec![0.0; p]).collect(),
+    };
+    let mut first_error: Option<RunError> = None;
+    for (h, (hc, ht)) in handles.into_iter().zip(identities) {
+        match h.join() {
+            Ok((c, t, processed, emitted, busy)) => {
+                stats.processed[c] += processed;
+                stats.emitted[c] += emitted;
+                stats.busy_seconds[c] += busy;
+                stats.task_busy_seconds[c][t] = busy;
+            }
+            Err(payload) => {
+                if first_error.is_none() {
+                    let (structured, message) = decode_panic(&*payload);
+                    first_error = Some(structured.unwrap_or(RunError::TaskPanicked {
+                        component: component_names[hc].clone(),
+                        id: hc,
+                        task: ht,
+                        message,
+                    }));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+
+    let degraded_tasks = {
+        let mut d = ledger.degraded.lock().expect("ledger lock").clone();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    Ok(SupervisedStats {
+        stats,
+        faults_injected: ledger.faults_injected.load(Ordering::Relaxed),
+        tasks_restarted: ledger.tasks_restarted.load(Ordering::Relaxed),
+        rounds_replayed: ledger.rounds_replayed.load(Ordering::Relaxed),
+        degraded_tasks,
+        send_timeouts: ledger.send_timeouts.load(Ordering::Relaxed),
+    })
+}
+
+/// The kill threshold scheduled for (component, task), if any.
+fn kill_for(faults: &[FaultSpec], component: ComponentId, task: usize) -> Option<u64> {
+    faults.iter().find_map(|f| match f {
+        FaultSpec::KillTask {
+            component: fc,
+            task: ft,
+            after_messages,
+        } if *fc == component && *ft == task => Some(*after_messages),
+        _ => None,
+    })
+}
+
+/// The control-envelope ordinals scheduled to be dropped for (component, task).
+fn drops_for(faults: &[FaultSpec], component: ComponentId, task: usize) -> Vec<u64> {
+    faults
+        .iter()
+        .filter_map(|f| match f {
+            FaultSpec::DropControl {
+                component: fc,
+                task: ft,
+                nth,
+            } if *fc == component && *ft == task => Some(*nth),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The supervised message loop of one bolt task. Mirrors the bare runtime's
+/// loop (Eos quota, post-Eos control drain gated on `drained()`), with three
+/// changes: polling receives (so drain starvation is observable), every
+/// callback supervised through [`TaskSupervisor::process`], and the fault
+/// schedule applied to the task's own message/control counts.
+#[allow(clippy::too_many_arguments)]
+fn run_supervised_bolt_task<M: Clone + Send + 'static>(
+    c: ComponentId,
+    t: usize,
+    bolt: Box<dyn Bolt<M>>,
+    factory: Arc<Mutex<crate::topology::BoltFactory<M>>>,
+    data_rx: Receiver<Envelope<M>>,
+    ctl_rx: Receiver<Envelope<M>>,
+    edges: Arc<Vec<crate::threaded::EdgeRt<M>>>,
+    policy: BatchPolicy<M>,
+    quota: usize,
+    send_tries: Option<u64>,
+    ledger: Arc<Ledger>,
+    sup: SuperviseConfig,
+) -> (ComponentId, usize, u64, u64, f64) {
+    let mut emitter = ThreadedEmitter::new(edges, t, Some(&policy), send_tries);
+    let barrier_of = policy.barrier.clone();
+    let can_replay = bolt.replayable() && bolt.checkpoint().is_some();
+    let mut supervisor = TaskSupervisor {
+        component: c,
+        task: t,
+        factory,
+        checkpoint: bolt.checkpoint(),
+        bolt,
+        replay: Vec::new(),
+        replay_overflow: false,
+        can_replay,
+        pending: VecDeque::new(),
+        policy_restart: sup.restart,
+        replay_cap: sup.replay_cap,
+        msgs_seen: 0,
+        consecutive_failures: 0,
+        cooldown: 0,
+        kill_at: kill_for(&sup.faults, c, t),
+        degraded: false,
+        ledger: ledger.clone(),
+        on_degrade: sup.on_degrade.clone(),
+    };
+    let mut drop_nths = drops_for(&sup.faults, c, t);
+
+    let mut processed = 0u64;
+    let mut busy = std::time::Duration::ZERO;
+    let mut eos_seen = 0usize;
+    let mut data_open = true;
+    let mut ctl_open = true;
+    let mut ctl_seen = 0u64;
+    let mut empty_polls = 0u64;
+
+    loop {
+        let data_done = eos_seen >= quota || !data_open;
+        if data_done && (supervisor.bolt.drained() || !ctl_open) && supervisor.pending.is_empty() {
+            break;
+        }
+
+        // Redeliveries (replay after a restart) run ahead of the channels,
+        // preserving the task's original FIFO order.
+        if let Some(env) = supervisor.pending.pop_front() {
+            let barrier = matches!(&env, Envelope::Data(m) if (barrier_of)(m));
+            let t0 = Instant::now();
+            processed += supervisor.process(env, &mut emitter, barrier);
+            busy += t0.elapsed();
+            empty_polls = 0;
+            continue;
+        }
+
+        let mut progressed = false;
+        if data_open {
+            match data_rx.try_recv() {
+                Ok(Envelope::Eos) => {
+                    eos_seen += 1;
+                    progressed = true;
+                }
+                Ok(env) => {
+                    let barrier = matches!(&env, Envelope::Data(m) if (barrier_of)(m));
+                    let t0 = Instant::now();
+                    processed += supervisor.process(env, &mut emitter, barrier);
+                    busy += t0.elapsed();
+                    progressed = true;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    data_open = false;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed && ctl_open {
+            match ctl_rx.try_recv() {
+                Ok(Envelope::Eos) => progressed = true,
+                Ok(env) => {
+                    progressed = true;
+                    ctl_seen += 1;
+                    if let Some(pos) = drop_nths.iter().position(|&nth| nth == ctl_seen) {
+                        // The scheduled lost message: swallow it. The
+                        // starvation detector below is what digs the
+                        // topology out of the resulting wedge.
+                        drop_nths.swap_remove(pos);
+                        ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let barrier = matches!(&env, Envelope::Data(m) if (barrier_of)(m));
+                        let t0 = Instant::now();
+                        processed += supervisor.process(env, &mut emitter, barrier);
+                        busy += t0.elapsed();
+                    }
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    ctl_open = false;
+                    progressed = true;
+                }
+            }
+        }
+        if progressed {
+            empty_polls = 0;
+        } else {
+            empty_polls += 1;
+            let data_done = eos_seen >= quota || !data_open;
+            if data_done
+                && !supervisor.bolt.drained()
+                && ctl_open
+                && empty_polls > sup.drain_patience
+            {
+                // Drain starvation: the control message this bolt is owed
+                // was lost (dropped by the fault plan, or its sender died).
+                // Waiting longer cannot help — degrade so the run ends.
+                supervisor.degrade();
+                empty_polls = 0;
+            }
+            thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    drop((data_rx, ctl_rx));
+    let t0 = Instant::now();
+    let bolt = &mut supervisor.bolt;
+    let flush = catch_unwind(AssertUnwindSafe(|| bolt.on_flush(&mut emitter)));
+    busy += t0.elapsed();
+    if let Err(payload) = flush {
+        if is_injected(&*payload) {
+            ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        ledger.degraded.lock().expect("ledger lock").push((c, t));
+        if let Some(cb) = &supervisor.on_degrade {
+            cb(c, t);
+        }
+    }
+    emitter.send_eos();
+    (c, t, processed, emitter.emitted, busy.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Grouping, TopologyBuilder};
+    use std::sync::Mutex as StdMutex;
+
+    /// A checkpointable, replayable accumulator: sums values, emits the
+    /// running total on each barrier (multiples of 100), and can be killed.
+    struct Acc {
+        sum: u64,
+    }
+
+    impl Bolt<u64> for Acc {
+        fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+            if m.is_multiple_of(100) {
+                out.emit("totals", self.sum);
+            } else {
+                self.sum += m;
+            }
+        }
+        fn checkpoint(&self) -> Option<Box<dyn std::any::Any + Send>> {
+            Some(Box::new(self.sum))
+        }
+        fn restore(&mut self, cp: &dyn std::any::Any) {
+            if let Some(sum) = cp.downcast_ref::<u64>() {
+                self.sum = *sum;
+            }
+        }
+        fn replayable(&self) -> bool {
+            true
+        }
+    }
+
+    struct Collect {
+        seen: Arc<StdMutex<Vec<u64>>>,
+    }
+
+    impl Bolt<u64> for Collect {
+        fn on_message(&mut self, m: u64, _o: &mut dyn Emitter<u64>) {
+            self.seen.lock().unwrap().push(m);
+        }
+    }
+
+    fn barrier_policy() -> BatchPolicy<u64> {
+        BatchPolicy::new(8, |m: &u64| m.is_multiple_of(100))
+    }
+
+    /// The barrier-emitting totals an unfaulted run produces for 1..=500.
+    fn oracle_totals() -> Vec<u64> {
+        let mut acc = 0u64;
+        let mut out = Vec::new();
+        for m in 1..=500u64 {
+            if m.is_multiple_of(100) {
+                out.push(acc);
+            } else {
+                acc += m;
+            }
+        }
+        out
+    }
+
+    fn faulted_run(faults: Vec<FaultSpec>, restart: RestartPolicy) -> (Vec<u64>, SupervisedStats) {
+        let seen: Arc<StdMutex<Vec<u64>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(1u64..=500));
+        let acc = tb.add_bolt("acc", 1, |_| Box::new(Acc { sum: 0 }) as Box<dyn Bolt<u64>>);
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 1, move |_| {
+                Box::new(Collect { seen: seen.clone() }) as Box<dyn Bolt<u64>>
+            })
+        };
+        assert_eq!(acc, 1);
+        tb.connect(src, "out", acc, Grouping::Shuffle);
+        tb.connect(acc, "totals", sink, Grouping::Global);
+        let result = run_threaded_supervised(
+            tb.build(),
+            ThreadedConfig::default(),
+            barrier_policy(),
+            SuperviseConfig {
+                restart,
+                faults,
+                ..SuperviseConfig::default()
+            },
+        )
+        .expect("supervised run");
+        let totals = seen.lock().unwrap().clone();
+        (totals, result)
+    }
+
+    #[test]
+    fn kill_recovers_from_checkpoint_and_replay_byte_identically() {
+        let (totals, stats) = faulted_run(
+            vec![FaultSpec::KillTask {
+                component: 1,
+                task: 0,
+                after_messages: 250,
+            }],
+            RestartPolicy::default(),
+        );
+        assert_eq!(totals, oracle_totals(), "replayed run must match oracle");
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.tasks_restarted, 1);
+        assert!(stats.rounds_replayed >= 1);
+        assert!(stats.degraded_tasks.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_and_the_run_still_terminates() {
+        // Bolt panics on every message: with max_restarts = 1 it degrades
+        // after the second failure, and the run must still complete.
+        struct Always;
+        impl Bolt<u64> for Always {
+            fn on_message(&mut self, _m: u64, _o: &mut dyn Emitter<u64>) {
+                panic!("genuine bug");
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..50));
+        let bad = tb.add_bolt("bad", 1, |_| Box::new(Always) as Box<dyn Bolt<u64>>);
+        tb.connect(src, "out", bad, Grouping::Shuffle);
+        let stats = run_threaded_supervised(
+            tb.build(),
+            ThreadedConfig::default(),
+            BatchPolicy::new(1, |_| false),
+            SuperviseConfig {
+                restart: RestartPolicy {
+                    max_restarts: 1,
+                    backoff_base: 4,
+                },
+                ..SuperviseConfig::default()
+            },
+        )
+        .expect("supervised run");
+        assert_eq!(stats.degraded_tasks, vec![(bad, 0)]);
+        assert_eq!(stats.tasks_restarted, 1);
+        assert_eq!(stats.faults_injected, 0, "a genuine bug is not injected");
+    }
+
+    #[test]
+    fn dropped_control_message_starves_then_degrades_instead_of_hanging() {
+        // `waiter` expects one feedback reply per fence it forwards; the
+        // fault plan swallows that reply, so the post-Eos drain can never
+        // satisfy `drained()`. The starvation detector must degrade it.
+        struct Waiter {
+            owed: u64,
+            got: u64,
+        }
+        impl Bolt<u64> for Waiter {
+            fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+                if m == 42 {
+                    self.owed += 1;
+                    out.emit("ask", m);
+                } else if m >= 1000 {
+                    self.got += 1;
+                }
+            }
+            fn drained(&self) -> bool {
+                self.got >= self.owed
+            }
+        }
+        struct Replier;
+        impl Bolt<u64> for Replier {
+            fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+                out.emit("reply", m + 1000);
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(40u64..45));
+        let waiter = tb.add_bolt("waiter", 1, |_| {
+            Box::new(Waiter { owed: 0, got: 0 }) as Box<dyn Bolt<u64>>
+        });
+        let replier = tb.add_bolt("replier", 1, |_| Box::new(Replier) as Box<dyn Bolt<u64>>);
+        tb.connect(src, "out", waiter, Grouping::Shuffle);
+        tb.connect(waiter, "ask", replier, Grouping::Shuffle);
+        tb.connect_feedback(replier, "reply", waiter, Grouping::Shuffle);
+        let stats = run_threaded_supervised(
+            tb.build(),
+            ThreadedConfig::default(),
+            BatchPolicy::new(1, |_| false),
+            SuperviseConfig {
+                faults: vec![FaultSpec::DropControl {
+                    component: waiter,
+                    task: 0,
+                    nth: 1,
+                }],
+                drain_patience: 200, // ≈10ms of silence, keeps the test fast
+                ..SuperviseConfig::default()
+            },
+        )
+        .expect("supervised run");
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.degraded_tasks, vec![(waiter, 0)]);
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_the_bare_runtime() {
+        let (totals, stats) = faulted_run(Vec::new(), RestartPolicy::default());
+        assert_eq!(totals, oracle_totals());
+        assert_eq!(stats.faults_injected, 0);
+        assert_eq!(stats.tasks_restarted, 0);
+        assert_eq!(stats.rounds_replayed, 0);
+        assert!(stats.degraded_tasks.is_empty());
+        assert_eq!(stats.stats.processed[1], 500);
+    }
+
+    /// A spout kill truncates the stream but the run still terminates with
+    /// the spout marked degraded.
+    #[test]
+    fn spout_kill_truncates_but_terminates() {
+        let seen: Arc<StdMutex<Vec<u64>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(1u64..=500));
+        let sink = {
+            let seen = seen.clone();
+            tb.add_bolt("sink", 1, move |_| {
+                Box::new(Collect { seen: seen.clone() }) as Box<dyn Bolt<u64>>
+            })
+        };
+        tb.connect(src, "out", sink, Grouping::Shuffle);
+        let stats = run_threaded_supervised(
+            tb.build(),
+            ThreadedConfig::default(),
+            BatchPolicy::new(8, |_| false),
+            SuperviseConfig {
+                faults: vec![FaultSpec::KillTask {
+                    component: src,
+                    task: 0,
+                    after_messages: 100,
+                }],
+                ..SuperviseConfig::default()
+            },
+        )
+        .expect("supervised run");
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.degraded_tasks, vec![(src, 0)]);
+        assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+}

@@ -34,10 +34,99 @@
 //!   whose latency bounds the repartition/migration protocols.
 
 use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
+
+/// Structured failure of a threaded run — *which* operator died and why,
+/// instead of a bare panic message out of a `join().expect(..)`.
+///
+/// Returned by the fallible entry points ([`try_run_threaded`],
+/// [`try_run_threaded_with`], [`try_run_threaded_batched`]) and by the
+/// supervised runtime when a failure exhausts its handling. The infallible
+/// `run_threaded*` wrappers panic with the `Display` rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A task thread panicked (and no supervisor absorbed it).
+    TaskPanicked {
+        /// Component name (declaration name in the topology).
+        component: String,
+        /// Component id.
+        id: ComponentId,
+        /// Task (instance) index within the component.
+        task: usize,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// An `emit_direct`/`emit_direct_batch` call named an edge that was
+    /// never declared.
+    UndeclaredDirectEdge {
+        /// Stream name used by the emit call.
+        stream: &'static str,
+        /// Consumer component the call named.
+        to: ComponentId,
+    },
+    /// A bounded-channel enqueue exhausted its retry budget
+    /// ([`ThreadedConfig::send_tries`]): the downstream task is wedged.
+    SendTimeout {
+        /// Consumer component whose inbox never freed a slot.
+        to: ComponentId,
+        /// The configured number of tries that were exhausted.
+        tries: u64,
+    },
+    /// Internal invariant: a task's receiver pair was claimed twice.
+    ReceiverTaken {
+        /// Component id.
+        id: ComponentId,
+        /// Task index.
+        task: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::TaskPanicked {
+                component,
+                id,
+                task,
+                message,
+            } => write!(
+                f,
+                "task {component}[{task}] (component {id}) panicked: {message}"
+            ),
+            RunError::UndeclaredDirectEdge { stream, to } => {
+                write!(f, "emit_direct on undeclared Direct edge :{stream} -> {to}")
+            }
+            RunError::SendTimeout { to, tries } => write!(
+                f,
+                "send into component {to}'s inbox timed out after {tries} tries \
+                 (downstream task wedged?)"
+            ),
+            RunError::ReceiverTaken { id, task } => {
+                write!(f, "receiver of component {id} task {task} taken twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Render a panic payload: a [`RunError`] thrown via `panic_any` surfaces
+/// as itself; `String`/`&str` payloads render verbatim.
+pub(crate) fn decode_panic(payload: &(dyn std::any::Any + Send)) -> (Option<RunError>, String) {
+    if let Some(e) = payload.downcast_ref::<RunError>() {
+        return (Some(e.clone()), e.to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return (None, s.clone());
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (None, (*s).to_string());
+    }
+    (None, "opaque panic payload".to_string())
+}
 
 /// Per-run statistics of a threaded execution.
 #[derive(Debug, Clone, Default)]
@@ -70,22 +159,59 @@ pub struct ThreadedConfig {
     /// the bound (they are control messages flowing against the data
     /// direction; blocking on them could deadlock the cycle).
     pub inbox_capacity: usize,
+    /// Send-timeout for bounded-channel enqueues: `Some(n)` makes each
+    /// blocked send retry at most `n` times (parking briefly between tries)
+    /// and then fail the run with [`RunError::SendTimeout`] — a wedged
+    /// downstream surfaces as a fault instead of a silent deadlock.
+    /// `None` (the default) blocks forever, the classical backpressure
+    /// behaviour.
+    pub send_tries: Option<u64>,
 }
 
 impl Default for ThreadedConfig {
     fn default() -> Self {
         ThreadedConfig {
             inbox_capacity: 1024,
+            send_tries: None,
         }
     }
 }
 
-enum Envelope<M> {
+#[derive(Clone)]
+pub(crate) enum Envelope<M> {
     Data(M),
     /// Several data messages in emission order, sent as one channel
     /// operation (see the module docs' batching rules).
     Batch(Vec<M>),
     Eos,
+}
+
+/// Deliver one envelope, honouring the send-timeout mode. Disconnects are
+/// dropped silently (dead-executor semantics, see [`dispatch`]); exhausting
+/// `Some(tries)` on a full channel panics with [`RunError::SendTimeout`],
+/// which the join path (or a supervisor) turns into a structured failure.
+pub(crate) fn deliver<M>(
+    tries: Option<u64>,
+    to: ComponentId,
+    sender: &Sender<Envelope<M>>,
+    env: Envelope<M>,
+) {
+    let Some(tries) = tries else {
+        let _ = sender.send(env);
+        return;
+    };
+    let mut env = env;
+    for _ in 0..tries {
+        match sender.try_send(env) {
+            Ok(()) => return,
+            Err(TrySendError::Disconnected(_)) => return,
+            Err(TrySendError::Full(back)) => {
+                env = back;
+                thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+    std::panic::panic_any(RunError::SendTimeout { to, tries });
 }
 
 /// Batching tunables for [`run_threaded_batched`].
@@ -122,17 +248,18 @@ impl<M> BatchPolicy<M> {
     }
 }
 
-struct EdgeRt<M> {
-    stream: &'static str,
-    to: ComponentId,
-    grouping: Grouping<M>,
-    feedback: bool,
+pub(crate) struct EdgeRt<M> {
+    pub(crate) stream: &'static str,
+    pub(crate) to: ComponentId,
+    pub(crate) grouping: Grouping<M>,
+    pub(crate) feedback: bool,
     /// One sender per consumer task.
-    senders: Vec<Sender<Envelope<M>>>,
+    pub(crate) senders: Vec<Sender<Envelope<M>>>,
 }
 
 /// One destination's (consumer task's) outgoing batch accumulator.
 struct BatchBuf<M> {
+    to: ComponentId,
     sender: Sender<Envelope<M>>,
     buf: Vec<M>,
 }
@@ -146,12 +273,12 @@ struct Batching<M> {
 }
 
 /// Flush every pending batch buffer (barrier messages and Eos call this).
-fn flush_all_batches<M>(batching: &mut Option<Batching<M>>) {
+fn flush_all_batches<M>(tries: Option<u64>, batching: &mut Option<Batching<M>>) {
     if let Some(b) = batching {
         for d in &mut b.bufs {
             if !d.buf.is_empty() {
                 let batch = std::mem::take(&mut d.buf);
-                let _ = d.sender.send(Envelope::Batch(batch));
+                deliver(tries, d.to, &d.sender, Envelope::Batch(batch));
             }
         }
     }
@@ -161,7 +288,10 @@ fn flush_all_batches<M>(batching: &mut Option<Batching<M>>) {
 /// destination (`slot`), directly otherwise. Send errors mean the consumer
 /// already shut down (possible only on feedback paths) — dropped silently,
 /// mirroring a Storm worker ignoring tuples for a dead executor.
+#[allow(clippy::too_many_arguments)]
 fn dispatch<M>(
+    tries: Option<u64>,
+    to: ComponentId,
     batching: &mut Option<Batching<M>>,
     slot: usize,
     sender: &Sender<Envelope<M>>,
@@ -174,12 +304,12 @@ fn dispatch<M>(
             dest.buf.push(msg);
             if dest.buf.len() >= b.max_batch {
                 let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
-                let _ = dest.sender.send(Envelope::Batch(batch));
+                deliver(tries, dest.to, &dest.sender, Envelope::Batch(batch));
             }
             return;
         }
     }
-    let _ = sender.send(Envelope::Data(msg));
+    deliver(tries, to, sender, Envelope::Data(msg));
 }
 
 /// Deliver a whole batch to one destination: full batches bypass the
@@ -188,6 +318,8 @@ fn dispatch<M>(
 /// the channel-operation count of the buffered path while skipping its
 /// per-message barrier checks and pushes.
 fn dispatch_batch<M>(
+    tries: Option<u64>,
+    to: ComponentId,
     batching: &mut Option<Batching<M>>,
     slot: usize,
     sender: &Sender<Envelope<M>>,
@@ -198,27 +330,29 @@ fn dispatch_batch<M>(
             let dest = &mut b.bufs[slot];
             if !dest.buf.is_empty() && dest.buf.len() + msgs.len() > b.max_batch {
                 let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
-                let _ = dest.sender.send(Envelope::Batch(batch));
+                deliver(tries, dest.to, &dest.sender, Envelope::Batch(batch));
             }
             if msgs.len() >= b.max_batch {
-                let _ = dest.sender.send(Envelope::Batch(msgs));
+                deliver(tries, dest.to, &dest.sender, Envelope::Batch(msgs));
             } else {
                 dest.buf.append(&mut msgs);
                 if dest.buf.len() >= b.max_batch {
                     let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
-                    let _ = dest.sender.send(Envelope::Batch(batch));
+                    deliver(tries, dest.to, &dest.sender, Envelope::Batch(batch));
                 }
             }
             return;
         }
     }
-    let _ = sender.send(Envelope::Batch(msgs));
+    deliver(tries, to, sender, Envelope::Batch(msgs));
 }
 
 /// Route one message over one non-direct edge, honouring per-destination
 /// batching — the shared per-message path of [`Emitter::emit`] and the
 /// spread-grouping arm of [`Emitter::emit_batch`].
+#[allow(clippy::too_many_arguments)]
 fn route_one<M: Clone>(
+    tries: Option<u64>,
     e: &EdgeRt<M>,
     edge_slots: Option<&Vec<usize>>,
     counter: &mut usize,
@@ -242,7 +376,7 @@ fn route_one<M: Clone>(
                     .and_then(|sl| sl.get(task))
                     .copied()
                     .unwrap_or(UNBATCHED);
-                dispatch(batching, slot, s, msg.clone(), !barrier);
+                dispatch(tries, e.to, batching, slot, s, msg.clone(), !barrier);
                 *emitted += 1;
             }
             return;
@@ -253,15 +387,23 @@ fn route_one<M: Clone>(
         .and_then(|sl| sl.get(task))
         .copied()
         .unwrap_or(UNBATCHED);
-    dispatch(batching, slot, &e.senders[task], msg.clone(), !barrier);
+    dispatch(
+        tries,
+        e.to,
+        batching,
+        slot,
+        &e.senders[task],
+        msg.clone(),
+        !barrier,
+    );
     *emitted += 1;
 }
 
 /// Slot marker for destinations that never batch (feedback edges).
 const UNBATCHED: usize = usize::MAX;
 
-struct ThreadedEmitter<M> {
-    edges: Arc<Vec<EdgeRt<M>>>,
+pub(crate) struct ThreadedEmitter<M> {
+    pub(crate) edges: Arc<Vec<EdgeRt<M>>>,
     /// Per-edge, per-consumer-task batch buffer index ([`UNBATCHED`] for
     /// feedback edges). Empty when batching is off.
     slots: Vec<Vec<usize>>,
@@ -269,11 +411,23 @@ struct ThreadedEmitter<M> {
     /// Per-edge round-robin counters (task-local; seeded by task index so
     /// parallel producers interleave over consumers).
     shuffle_counters: Vec<usize>,
-    emitted: u64,
+    pub(crate) emitted: u64,
+    /// Send-timeout mode ([`ThreadedConfig::send_tries`]).
+    send_tries: Option<u64>,
+    /// Set whenever this emitter sends a barrier message (per the batching
+    /// policy); the supervisor reads-and-clears it to learn that the bolt
+    /// just completed a checkpointable unit of progress (e.g. a parser
+    /// emitting a round tick).
+    pub(crate) barrier_emitted: bool,
 }
 
 impl<M> ThreadedEmitter<M> {
-    fn new(edges: Arc<Vec<EdgeRt<M>>>, task: usize, policy: Option<&BatchPolicy<M>>) -> Self {
+    pub(crate) fn new(
+        edges: Arc<Vec<EdgeRt<M>>>,
+        task: usize,
+        policy: Option<&BatchPolicy<M>>,
+        send_tries: Option<u64>,
+    ) -> Self {
         let n_edges = edges.len();
         let (slots, batching) = match policy {
             None => (Vec::new(), None),
@@ -291,6 +445,7 @@ impl<M> ThreadedEmitter<M> {
                         }
                         let slot = *slot_of.entry((e.to, t)).or_insert_with(|| {
                             bufs.push(BatchBuf {
+                                to: e.to,
                                 sender: s.clone(),
                                 buf: Vec::with_capacity(policy.max_batch),
                             });
@@ -316,6 +471,8 @@ impl<M> ThreadedEmitter<M> {
             batching,
             shuffle_counters: vec![task; n_edges],
             emitted: 0,
+            send_tries,
+            barrier_emitted: false,
         }
     }
 
@@ -335,7 +492,8 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
             None => false,
         };
         if barrier {
-            flush_all_batches(&mut self.batching);
+            self.barrier_emitted = true;
+            flush_all_batches(self.send_tries, &mut self.batching);
         }
         let ThreadedEmitter {
             edges,
@@ -343,12 +501,15 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
             batching,
             shuffle_counters,
             emitted,
+            send_tries,
+            ..
         } = self;
         for (i, e) in edges.iter().enumerate() {
             if e.stream != stream || matches!(e.grouping, Grouping::Direct) {
                 continue;
             }
             route_one(
+                *send_tries,
                 e,
                 slots.get(i),
                 &mut shuffle_counters[i],
@@ -382,6 +543,8 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
             batching,
             shuffle_counters,
             emitted,
+            send_tries,
+            ..
         } = self;
         let matching: Vec<usize> = edges
             .iter()
@@ -413,10 +576,11 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
                     .and_then(|s| s.first())
                     .copied()
                     .unwrap_or(UNBATCHED);
-                dispatch_batch(batching, slot, &e.senders[0], batch);
+                dispatch_batch(*send_tries, e.to, batching, slot, &e.senders[0], batch);
             } else {
                 for m in remaining.as_ref().expect("present until last").iter() {
                     route_one(
+                        *send_tries,
                         e,
                         slots.get(i),
                         &mut shuffle_counters[i],
@@ -460,11 +624,13 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
                 e.stream == stream && e.to == to && matches!(e.grouping, Grouping::Direct)
             })
             .unwrap_or_else(|| {
-                panic!("emit_direct_batch on undeclared Direct edge :{stream} -> {to}")
+                std::panic::panic_any(RunError::UndeclaredDirectEdge { stream, to })
             });
         self.emitted += msgs.len() as u64;
         let slot = self.slot(edge_idx, task);
         dispatch_batch(
+            self.send_tries,
+            to,
             &mut self.batching,
             slot,
             &self.edges[edge_idx].senders[task],
@@ -479,16 +645,21 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
             .position(|e| {
                 e.stream == stream && e.to == to && matches!(e.grouping, Grouping::Direct)
             })
-            .unwrap_or_else(|| panic!("emit_direct on undeclared Direct edge :{stream} -> {to}"));
+            .unwrap_or_else(|| {
+                std::panic::panic_any(RunError::UndeclaredDirectEdge { stream, to })
+            });
         let barrier = match &self.batching {
             Some(b) => (b.barrier)(&msg),
             None => false,
         };
         if barrier {
-            flush_all_batches(&mut self.batching);
+            self.barrier_emitted = true;
+            flush_all_batches(self.send_tries, &mut self.batching);
         }
         let slot = self.slot(edge_idx, task);
         dispatch(
+            self.send_tries,
+            to,
             &mut self.batching,
             slot,
             &self.edges[edge_idx].senders[task],
@@ -501,9 +672,10 @@ impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
 
 impl<M> ThreadedEmitter<M> {
     /// Flush pending batches, then broadcast `Eos` over all non-feedback
-    /// edges.
-    fn send_eos(&mut self) {
-        flush_all_batches(&mut self.batching);
+    /// edges. Eos delivery always blocks (never times out): shutdown
+    /// correctness must not depend on the send-timeout tuning.
+    pub(crate) fn send_eos(&mut self) {
+        flush_all_batches(None, &mut self.batching);
         for e in self.edges.iter().filter(|e| !e.feedback) {
             for s in &e.senders {
                 let _ = s.send(Envelope::Eos);
@@ -522,7 +694,10 @@ pub fn run_threaded_with<M: Clone + Send + 'static>(
     topology: Topology<M>,
     config: ThreadedConfig,
 ) -> ThreadStats {
-    run_threaded_inner(topology, config, None)
+    match run_threaded_inner(topology, config, None) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Run `topology` with per-destination channel batching: data messages
@@ -535,29 +710,66 @@ pub fn run_threaded_batched<M: Clone + Send + 'static>(
     config: ThreadedConfig,
     policy: BatchPolicy<M>,
 ) -> ThreadStats {
+    match run_threaded_inner(topology, config, Some(policy)) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`run_threaded`]: a dead task surfaces as [`RunError`] naming
+/// the operator instead of a bare panic out of the join path.
+pub fn try_run_threaded<M: Clone + Send + 'static>(
+    topology: Topology<M>,
+) -> Result<ThreadStats, RunError> {
+    run_threaded_inner(topology, ThreadedConfig::default(), None)
+}
+
+/// Fallible [`run_threaded_with`].
+pub fn try_run_threaded_with<M: Clone + Send + 'static>(
+    topology: Topology<M>,
+    config: ThreadedConfig,
+) -> Result<ThreadStats, RunError> {
+    run_threaded_inner(topology, config, None)
+}
+
+/// Fallible [`run_threaded_batched`].
+pub fn try_run_threaded_batched<M: Clone + Send + 'static>(
+    topology: Topology<M>,
+    config: ThreadedConfig,
+    policy: BatchPolicy<M>,
+) -> Result<ThreadStats, RunError> {
     run_threaded_inner(topology, config, Some(policy))
 }
 
-fn run_threaded_inner<M: Clone + Send + 'static>(
-    mut topology: Topology<M>,
-    config: ThreadedConfig,
-    policy: Option<BatchPolicy<M>>,
-) -> ThreadStats {
+/// Per-task (data, control) inbox pairs, indexed `[component][task]`;
+/// `None` for spouts, taken exactly once by the task's thread.
+pub(crate) type InboxReceivers<M> =
+    Vec<Vec<Option<(Receiver<Envelope<M>>, Receiver<Envelope<M>>)>>>;
+
+/// Everything a runtime needs to execute a wired topology: per-task inbox
+/// receivers, per-task Eos quotas, and per-producer routing tables. Shared
+/// between the bare threaded runtime and the supervised one.
+pub(crate) struct Wiring<M> {
+    /// `receivers[c][t]`: the bolt task's (data, control) inbox pair,
+    /// `None` for spouts; taken exactly once by the task's thread.
+    pub(crate) receivers: InboxReceivers<M>,
+    /// Expected Eos per bolt task = Σ over non-feedback in-edges of the
+    /// producer's parallelism.
+    pub(crate) expected_eos: Vec<usize>,
+    /// Per-producer routing tables (shared across its tasks).
+    pub(crate) edges_of: Vec<Arc<Vec<EdgeRt<M>>>>,
+}
+
+/// Build channels and routing tables for `topology` (draining its edge
+/// list). Feedback edges send into the unbounded control inboxes;
+/// everything else into the bounded data inboxes.
+pub(crate) fn wire<M>(topology: &mut Topology<M>, capacity: usize) -> Wiring<M> {
     let n = topology.components.len();
-    // `inbox_capacity` is denominated in *messages*: with batching, each
-    // bounded-channel slot can carry up to `max_batch` of them, so the slot
-    // count shrinks accordingly. Otherwise batching would multiply the
-    // in-flight volume by the batch depth and control responses (partition
-    // installs, addition verdicts) would queue behind tens of thousands of
-    // buffered tuples instead of ~one inbox's worth.
-    let per_slot = policy.as_ref().map(|p| p.max_batch).unwrap_or(1);
-    let capacity = (config.inbox_capacity / per_slot).max(1);
 
     // Two channels per bolt task: a bounded *data* inbox (backpressure) and
     // an unbounded *control* inbox for feedback-edge messages.
-    type Inboxes<M> = Vec<Vec<Option<(Receiver<Envelope<M>>, Receiver<Envelope<M>>)>>>;
     type Outboxes<M> = Vec<Vec<(Sender<Envelope<M>>, Sender<Envelope<M>>)>>;
-    let mut receivers: Inboxes<M> = Vec::with_capacity(n);
+    let mut receivers: InboxReceivers<M> = Vec::with_capacity(n);
     let mut senders: Outboxes<M> = Vec::with_capacity(n);
     for spec in &topology.components {
         let is_bolt = matches!(spec.kind, ComponentKind::Bolt(_));
@@ -575,16 +787,11 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
         senders.push(tx);
     }
 
-    // Expected Eos per bolt task = Σ over non-feedback in-edges of the
-    // producer's parallelism.
     let mut expected_eos = vec![0usize; n];
     for e in topology.edges.iter().filter(|e| !e.feedback) {
         expected_eos[e.to] += topology.components[e.from].parallelism;
     }
 
-    // Per-producer routing tables (shared across its tasks). Feedback edges
-    // send into the unbounded control inboxes; everything else into the
-    // bounded data inboxes.
     let mut edges_of: Vec<Vec<EdgeRt<M>>> = (0..n).map(|_| Vec::new()).collect();
     for e in topology.edges.drain(..) {
         let feedback = e.feedback;
@@ -608,15 +815,55 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
     }
     let edges_of: Vec<Arc<Vec<EdgeRt<M>>>> = edges_of.into_iter().map(Arc::new).collect();
 
-    // `senders` must drop before joining so channels disconnect when all
-    // producer threads finish.
+    // `senders` must drop before the caller joins so channels disconnect
+    // when all producer threads finish.
     drop(senders);
+
+    Wiring {
+        receivers,
+        expected_eos,
+        edges_of,
+    }
+}
+
+/// Derive the bounded-channel slot count from the configured capacity.
+/// `inbox_capacity` is denominated in *messages*: with batching, each
+/// bounded-channel slot can carry up to `max_batch` of them, so the slot
+/// count shrinks accordingly. Otherwise batching would multiply the
+/// in-flight volume by the batch depth and control responses (partition
+/// installs, addition verdicts) would queue behind tens of thousands of
+/// buffered tuples instead of ~one inbox's worth.
+pub(crate) fn slot_capacity<M>(config: &ThreadedConfig, policy: Option<&BatchPolicy<M>>) -> usize {
+    let per_slot = policy.map(|p| p.max_batch).unwrap_or(1);
+    (config.inbox_capacity / per_slot).max(1)
+}
+
+fn run_threaded_inner<M: Clone + Send + 'static>(
+    mut topology: Topology<M>,
+    config: ThreadedConfig,
+    policy: Option<BatchPolicy<M>>,
+) -> Result<ThreadStats, RunError> {
+    let n = topology.components.len();
+    let capacity = slot_capacity(&config, policy.as_ref());
+    let send_tries = config.send_tries;
+    let Wiring {
+        mut receivers,
+        expected_eos,
+        edges_of,
+    } = wire(&mut topology, capacity);
 
     // What each task thread reports back: (component, task, processed,
     // emitted, busy seconds).
     type TaskResult = (ComponentId, usize, u64, u64, f64);
     let parallelism_of: Vec<usize> = topology.components.iter().map(|s| s.parallelism).collect();
+    let component_names: Vec<String> = topology
+        .components
+        .iter()
+        .map(|s| s.name.to_string())
+        .collect();
     let mut handles: Vec<thread::JoinHandle<TaskResult>> = Vec::new();
+    // Identity of handles[i], for attributing a panicked join.
+    let mut identities: Vec<(ComponentId, usize)> = Vec::new();
     for (c, spec) in topology.components.iter_mut().enumerate() {
         let parallelism = spec.parallelism;
         match &mut spec.kind {
@@ -625,8 +872,10 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                     let mut spout = factory(t);
                     let edges = edges_of[c].clone();
                     let policy = policy.clone();
+                    identities.push((c, t));
                     handles.push(thread::spawn(move || {
-                        let mut emitter = ThreadedEmitter::new(edges, t, policy.as_ref());
+                        let mut emitter =
+                            ThreadedEmitter::new(edges, t, policy.as_ref(), send_tries);
                         let mut produced = 0u64;
                         let start = Instant::now();
                         while let Some(msg) = spout.next() {
@@ -649,12 +898,16 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                 #[allow(clippy::needless_range_loop)] // t also names the task
                 for t in 0..parallelism {
                     let mut bolt = factory(t);
-                    let (data_rx, ctl_rx) = receivers[c][t].take().expect("receiver taken once");
+                    let Some((data_rx, ctl_rx)) = receivers[c][t].take() else {
+                        return Err(RunError::ReceiverTaken { id: c, task: t });
+                    };
                     let edges = edges_of[c].clone();
                     let policy = policy.clone();
                     let quota = expected_eos[c];
+                    identities.push((c, t));
                     handles.push(thread::spawn(move || {
-                        let mut emitter = ThreadedEmitter::new(edges, t, policy.as_ref());
+                        let mut emitter =
+                            ThreadedEmitter::new(edges, t, policy.as_ref(), send_tries);
                         let mut processed = 0u64;
                         let mut busy = std::time::Duration::ZERO;
                         let mut eos_seen = 0usize;
@@ -731,20 +984,47 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
         }
     }
 
+    // Release the routing tables (and the senders inside them) held by this
+    // thread: after a task dies without sending Eos, its consumers can only
+    // terminate by observing channel disconnection, which needs every
+    // producer-side sender — including these — gone.
+    drop(edges_of);
+    drop(receivers);
+
     let mut stats = ThreadStats {
         processed: vec![0; n],
         emitted: vec![0; n],
         busy_seconds: vec![0.0; n],
         task_busy_seconds: parallelism_of.iter().map(|&p| vec![0.0; p]).collect(),
     };
-    for h in handles {
-        let (c, t, processed, emitted, busy) = h.join().expect("task thread panicked");
-        stats.processed[c] += processed;
-        stats.emitted[c] += emitted;
-        stats.busy_seconds[c] += busy;
-        stats.task_busy_seconds[c][t] = busy;
+    // Join every handle (so no thread is leaked) before reporting the first
+    // failure, structured with the identity of the operator that died.
+    let mut first_error: Option<RunError> = None;
+    for (h, (hc, ht)) in handles.into_iter().zip(identities) {
+        match h.join() {
+            Ok((c, t, processed, emitted, busy)) => {
+                stats.processed[c] += processed;
+                stats.emitted[c] += emitted;
+                stats.busy_seconds[c] += busy;
+                stats.task_busy_seconds[c][t] = busy;
+            }
+            Err(payload) => {
+                if first_error.is_none() {
+                    let (structured, message) = decode_panic(&*payload);
+                    first_error = Some(structured.unwrap_or(RunError::TaskPanicked {
+                        component: component_names[hc].clone(),
+                        id: hc,
+                        task: ht,
+                        message,
+                    }));
+                }
+            }
+        }
     }
-    stats
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
 }
 
 #[cfg(test)]
@@ -1193,5 +1473,98 @@ mod tests {
         for &(t, m) in seen.lock().unwrap().iter() {
             assert_eq!(t as u64, m % 3);
         }
+    }
+
+    #[test]
+    fn task_panic_surfaces_as_structured_run_error() {
+        struct Bomb;
+        impl Bolt<u64> for Bomb {
+            fn on_message(&mut self, m: u64, _o: &mut dyn Emitter<u64>) {
+                if m == 7 {
+                    panic!("boom at {m}");
+                }
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..20));
+        let bomb = tb.add_bolt("bomb", 1, |_| Box::new(Bomb) as Box<dyn Bolt<u64>>);
+        tb.connect(src, "out", bomb, Grouping::Shuffle);
+        let err = try_run_threaded(tb.build()).unwrap_err();
+        match err {
+            RunError::TaskPanicked {
+                component,
+                id,
+                task,
+                message,
+            } => {
+                assert_eq!(component, "bomb");
+                assert_eq!(id, bomb);
+                assert_eq!(task, 0);
+                assert!(message.contains("boom at 7"), "message was {message:?}");
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_direct_edge_is_a_structured_error() {
+        struct BadRouter;
+        impl Bolt<u64> for BadRouter {
+            fn on_message(&mut self, m: u64, out: &mut dyn Emitter<u64>) {
+                out.emit_direct("nope", 9, 0, m);
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..3));
+        let bad = tb.add_bolt("bad", 1, |_| Box::new(BadRouter) as Box<dyn Bolt<u64>>);
+        tb.connect(src, "out", bad, Grouping::Shuffle);
+        let err = try_run_threaded(tb.build()).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::UndeclaredDirectEdge {
+                stream: "nope",
+                to: 9
+            }
+        );
+    }
+
+    #[test]
+    fn wedged_downstream_trips_the_send_timeout() {
+        // The sink stalls long inside its first callback, so the producer's
+        // bounded sends stop draining; with `send_tries` set the run must
+        // fail with a SendTimeout naming the wedged consumer instead of
+        // deadlocking. The stall is finite (it ends on its own) so the
+        // join path — which waits for every thread — still completes.
+        struct Wedge {
+            stalled: bool,
+        }
+        impl Bolt<u64> for Wedge {
+            fn on_message(&mut self, _m: u64, _o: &mut dyn Emitter<u64>) {
+                if !self.stalled {
+                    self.stalled = true;
+                    thread::sleep(std::time::Duration::from_millis(500));
+                }
+            }
+        }
+        let mut tb = TopologyBuilder::new();
+        let src = tb.add_spout("src", 1, |_| Box::new(0u64..10_000));
+        let sink = tb.add_bolt("sink", 1, |_| {
+            Box::new(Wedge { stalled: false }) as Box<dyn Bolt<u64>>
+        });
+        tb.connect(src, "out", sink, Grouping::Shuffle);
+        let err = try_run_threaded_with(
+            tb.build(),
+            ThreadedConfig {
+                inbox_capacity: 1,
+                send_tries: Some(20),
+            },
+        );
+        assert_eq!(
+            err.unwrap_err(),
+            RunError::SendTimeout {
+                to: sink,
+                tries: 20
+            }
+        );
     }
 }

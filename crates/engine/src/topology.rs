@@ -83,6 +83,45 @@ pub trait Bolt<M>: Send {
     fn drained(&self) -> bool {
         true
     }
+
+    /// Export this bolt's durable state as an opaque checkpoint. The
+    /// supervised runtime calls it after every *barrier* message (round
+    /// ticks, fences — the checkpoint-consistent points of the protocol);
+    /// after a panic, a fresh instance built from the component factory is
+    /// fed the latest checkpoint through [`Bolt::restore`]. `None` (the
+    /// default) means "stateless as far as recovery is concerned": restarts
+    /// begin from the factory's initial state.
+    fn checkpoint(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        None
+    }
+
+    /// Restore state captured by [`Bolt::checkpoint`] into this (freshly
+    /// rebuilt) instance. Implementations downcast `cp` to their own
+    /// checkpoint type; a mismatched payload should be ignored (the
+    /// supervisor only ever hands back this component's own checkpoints).
+    fn restore(&mut self, cp: &dyn std::any::Any) {
+        let _ = cp;
+    }
+
+    /// True when the bolt's emissions are a pure function of checkpointed
+    /// state plus the messages since the last checkpoint — i.e. replaying
+    /// those messages into a restored instance reproduces the lost work
+    /// byte-for-byte *without* re-emitting anything downstream already saw
+    /// (emissions happen only at barriers). The supervised runtime keeps a
+    /// replay buffer of post-checkpoint messages only for such bolts.
+    fn replayable(&self) -> bool {
+        false
+    }
+
+    /// A degraded stand-in installed when this bolt exhausts its restart
+    /// budget: it must keep the topology's control protocols live (answer
+    /// fences, feed round barriers downstream) while doing no real work, so
+    /// the run finishes with a partial-but-honest report instead of
+    /// deadlocking. `None` (the default) installs a generic black hole that
+    /// drops everything.
+    fn tombstone(&self) -> Option<Box<dyn Bolt<M>>> {
+        None
+    }
 }
 
 /// Emission interface handed to bolts (and used by the engine for spouts).

@@ -20,4 +20,4 @@ mod snapshot;
 mod store;
 
 pub use snapshot::Snapshot;
-pub use store::{store, Publisher, QueryHandle};
+pub use store::{store, DegradeFlag, Publisher, QueryHandle};

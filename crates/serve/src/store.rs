@@ -35,6 +35,10 @@ struct Store {
     acquisitions: AtomicU64,
     /// Cumulative snapshot build + swap time, nanoseconds.
     build_nanos: AtomicU64,
+    /// Count of pipeline tasks the supervised runtime degraded while
+    /// feeding this store. Non-zero = published snapshots are
+    /// partial-but-honest (some evidence was lost with a dead task).
+    degraded: AtomicU64,
 }
 
 const NO_ROUND: u64 = u64::MAX;
@@ -51,6 +55,7 @@ pub fn store() -> (Publisher, QueryHandle) {
         published: AtomicU64::new(0),
         acquisitions: AtomicU64::new(0),
         build_nanos: AtomicU64::new(0),
+        degraded: AtomicU64::new(0),
     });
     (Publisher(store.clone()), QueryHandle(store))
 }
@@ -88,6 +93,33 @@ impl Publisher {
     /// A query handle onto the same store.
     pub fn subscribe(&self) -> QueryHandle {
         QueryHandle(self.0.clone())
+    }
+
+    /// A degradation beacon onto the same store, for the supervised
+    /// runtime's on-degrade hook: each [`DegradeFlag::set`] marks every
+    /// snapshot published from here on as built from a pipeline that lost
+    /// a task. Cheap, clone-freely, callable from any thread.
+    pub fn degrade_flag(&self) -> DegradeFlag {
+        DegradeFlag(self.0.clone())
+    }
+}
+
+/// Marks the store's feed as degraded (see [`Publisher::degrade_flag`]).
+#[derive(Clone)]
+pub struct DegradeFlag(Arc<Store>);
+
+impl DegradeFlag {
+    /// Record one degraded pipeline task.
+    pub fn set(&self) {
+        self.0.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for DegradeFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DegradeFlag")
+            .field("degraded", &self.0.degraded.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -155,6 +187,19 @@ impl QueryHandle {
     /// Cumulative seconds spent building and swapping snapshots.
     pub fn build_seconds(&self) -> f64 {
         self.0.build_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// True when the pipeline feeding this store degraded at least one
+    /// task: current and future snapshots are partial-but-honest. Readers
+    /// that must not act on partial correlations check this before trusting
+    /// a snapshot.
+    pub fn ingest_degraded(&self) -> bool {
+        self.degraded_tasks() > 0
+    }
+
+    /// Number of degraded-task reports the feed has made.
+    pub fn degraded_tasks(&self) -> u64 {
+        self.0.degraded.load(Ordering::Relaxed)
     }
 }
 
@@ -288,5 +333,28 @@ mod tests {
         assert_send_sync::<QueryHandle>();
         assert_send_sync::<Publisher>();
         assert_send_sync::<Snapshot>();
+        assert_send_sync::<DegradeFlag>();
+    }
+
+    #[test]
+    fn degrade_flag_marks_the_feed_without_touching_snapshots() {
+        let (publisher, handle) = store();
+        publisher.publish(0, Arc::new(vec![coeff(&[1, 2], 0.5)]));
+        assert!(!handle.ingest_degraded());
+        let flag = publisher.degrade_flag();
+        let flag2 = flag.clone();
+        std::thread::spawn(move || flag2.set()).join().unwrap();
+        assert!(handle.ingest_degraded());
+        assert_eq!(handle.degraded_tasks(), 1);
+        flag.set();
+        assert_eq!(handle.degraded_tasks(), 2);
+        // published data itself is untouched — only the honesty marker moves
+        assert_eq!(
+            handle
+                .coefficient(&TagSet::from_ids(&[1, 2]))
+                .unwrap()
+                .jaccard,
+            0.5
+        );
     }
 }

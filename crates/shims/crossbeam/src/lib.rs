@@ -46,6 +46,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`], handing the message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity right now.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -78,6 +87,26 @@ pub mod channel {
                         inner = self.core.send_cv.wait(inner).expect("channel poisoned");
                     }
                     _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.core.recv_cv.notify_one();
+            Ok(())
+        }
+
+        /// Queue `msg` without blocking: fails with [`TrySendError::Full`]
+        /// when a bounded channel is at capacity (the caller keeps the
+        /// message and decides whether to retry), and with
+        /// [`TrySendError::Disconnected`] once every receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.core.inner.lock().expect("channel poisoned");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.core.capacity {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             inner.queue.push_back(msg);
@@ -259,8 +288,19 @@ macro_rules! select {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, never, unbounded, TryRecvError};
+    use super::channel::{bounded, never, unbounded, TryRecvError, TrySendError};
     use std::thread;
+
+    #[test]
+    fn try_send_reports_full_and_disconnected_without_blocking() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)), "at capacity");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()), "slot freed");
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
 
     #[test]
     fn unbounded_roundtrip_and_disconnect() {

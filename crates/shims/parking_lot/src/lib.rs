@@ -221,4 +221,57 @@ mod tests {
         .join();
         assert_eq!(*l.read(), 7, "lock must remain usable");
     }
+
+    #[test]
+    fn readers_after_poisoned_write_see_a_coherent_snapshot() {
+        // The serving layer's degraded-ingest scenario: a publisher thread
+        // panics *mid-publish*, after taking the write lock. Under the
+        // snapshot-swap pattern the critical section is a single Arc
+        // pointer store, so even a poisoned write leaves the cell holding
+        // either the old pointer or the new one — concurrent and later
+        // readers must observe one of those two complete snapshots, never
+        // a torn mix, and the lock must stay fully usable.
+        let store = Arc::new(RwLock::new(Arc::new(vec![1u64; 8])));
+        let store2 = store.clone();
+        let _ = thread::spawn(move || {
+            let mut slot = store2.write();
+            *slot = Arc::new(vec![2u64; 8]);
+            panic!("publisher dies after the swap");
+        })
+        .join();
+        let after_swap = store.read().clone();
+        let first = after_swap[0];
+        assert!(
+            after_swap.iter().all(|&v| v == first),
+            "snapshot torn after poisoned write"
+        );
+        assert_eq!(first, 2, "completed swap must be visible");
+
+        // A writer that dies *before* storing leaves the old snapshot.
+        let store3 = store.clone();
+        let _ = thread::spawn(move || {
+            let _slot = store3.write();
+            panic!("publisher dies before the swap");
+        })
+        .join();
+        let untouched = store.read().clone();
+        assert!(untouched.iter().all(|&v| v == 2), "old snapshot intact");
+
+        // And the poisoned lock still serves new writes and parallel reads.
+        *store.write() = Arc::new(vec![3u64; 8]);
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = store.clone();
+                thread::spawn(move || {
+                    let snap = store.read().clone();
+                    let first = snap[0];
+                    assert!(snap.iter().all(|&v| v == first), "torn snapshot");
+                    first
+                })
+            })
+            .collect();
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 3);
+        }
+    }
 }

@@ -15,8 +15,9 @@ use setcorr_core::{
     SetCoverVariant,
 };
 use setcorr_engine::{
-    run_sim_batched, run_threaded_batched, BatchPolicy, Bolt, Grouping, Spout, ThreadedConfig,
-    Topology, TopologyBuilder,
+    run_sim_batched, run_threaded_batched, run_threaded_supervised, BatchPolicy, Bolt, FaultSpec,
+    Grouping, RestartPolicy, Spout, SuperviseConfig, SupervisedStats, ThreadedConfig, Topology,
+    TopologyBuilder,
 };
 use setcorr_model::{fx, Document, TagSetWindow, TimeDelta, WindowKind};
 use std::sync::Arc;
@@ -55,6 +56,93 @@ impl BackendKind {
             // replica agreement in general) depends on. Per-task error is
             // unaffected — only cross-task error correlation increases.
             BackendKind::Approx(params) => Box::new(ApproxCalculator::new(params)),
+        }
+    }
+}
+
+/// Deterministic component ids of the Figure 2 topology (declaration
+/// order). The fault plan addresses components through these; they are
+/// asserted at build time.
+const PARSER_COMPONENT: usize = 1;
+const CALCULATOR_COMPONENT: usize = 5;
+
+/// One deterministic fault of a [`Supervision`] plan, addressed in topology
+/// terms (which operator, which task, when) and translated to runtime
+/// [`FaultSpec`]s — or armed directly inside the target bolt for faults the
+/// runtime cannot express, like panicking while holding a lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill Parser task `task` after it processed `after_messages` inbox
+    /// envelopes (panic injected before the next one is handled).
+    KillParser {
+        /// Parser task index.
+        task: usize,
+        /// Envelopes processed before the kill fires.
+        after_messages: u64,
+    },
+    /// Kill Calculator task `task` after `after_messages` inbox envelopes.
+    KillCalculator {
+        /// Calculator task index.
+        task: usize,
+        /// Envelopes processed before the kill fires.
+        after_messages: u64,
+    },
+    /// Swallow the `nth` (1-indexed) control-channel envelope bound for
+    /// Calculator `calculator` — in the live topology that is an `Adopt`,
+    /// which wedges the victim's migration barrier until the supervisor's
+    /// starvation detector degrades it.
+    DropAdopt {
+        /// Victim Calculator task index.
+        calculator: usize,
+        /// Which control envelope to drop (1 = the first).
+        nth: u64,
+    },
+    /// Calculator `calculator` panics *while holding the recorder lock*
+    /// after observing `after_notifications` notifications — the poisoned
+    /// lock must be absorbed (readers keep seeing coherent state) and the
+    /// task recovered like any other panic.
+    PoisonLock {
+        /// Faulting Calculator task index.
+        calculator: usize,
+        /// Notifications observed before the panic fires.
+        after_notifications: u64,
+    },
+}
+
+/// Supervised threaded execution: restart budget, deterministic fault
+/// plan, and liveness knobs. Attach with
+/// [`ExperimentConfig::with_supervision`]; only [`RunMode::Threaded`] reads
+/// it (the sim runtime stays the fault-free oracle — a recovery that stays
+/// within budget is byte-indistinguishable from never having failed, which
+/// is exactly what the fault-recovery suite asserts).
+#[derive(Debug, Clone)]
+pub struct Supervision {
+    /// Restarts allowed per task before it degrades to a tombstone.
+    pub max_restarts: u32,
+    /// Restart cooldown base, measured in *processed messages* (no wall
+    /// clock — determinism); doubles per consecutive failure.
+    pub backoff_base: u64,
+    /// The deterministic fault plan (empty = supervision wrappers only).
+    pub faults: Vec<Fault>,
+    /// Empty inbox polls (≈ 50 µs each) a finished-input bolt may wait for
+    /// owed control traffic before the supervisor declares it starved and
+    /// degrades it — the anti-deadlock backstop for lost control messages.
+    pub drain_patience: u64,
+    /// Bounded-enqueue retry budget per send (≈ 50 µs per try): `None`
+    /// blocks forever (the default), `Some(n)` fails the sender with a
+    /// structured timeout after `n` tries — turning a stalled channel into
+    /// a supervisable fault instead of a silent hang.
+    pub send_tries: Option<u64>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            max_restarts: 2,
+            backoff_base: 64,
+            faults: Vec::new(),
+            drain_patience: 60_000,
+            send_tries: None,
         }
     }
 }
@@ -141,6 +229,10 @@ pub struct ExperimentConfig {
     /// making threaded runs with the exact backend byte-comparable to the
     /// sim oracle at the Tracker (see [`bootstrap_partitions`]).
     pub pinned_partitions: Option<Arc<PinnedPartitions>>,
+    /// Supervised execution (threaded mode only): fault injection plan,
+    /// restart policy, starvation patience. `None` (the default) runs the
+    /// bare runtime with no supervision wrappers at all.
+    pub supervision: Option<Supervision>,
 }
 
 /// A partition map (with its §7.2 reference quality) pinned at Disseminator
@@ -175,6 +267,7 @@ impl Default for ExperimentConfig {
             sources: 1,
             parsers: 1,
             pinned_partitions: None,
+            supervision: None,
         }
     }
 }
@@ -220,6 +313,13 @@ impl ExperimentConfig {
     /// This config with a pre-installed partition map (skips bootstrap).
     pub fn with_pinned_partitions(mut self, pinned: PinnedPartitions) -> Self {
         self.pinned_partitions = Some(Arc::new(pinned));
+        self
+    }
+
+    /// This config under supervised threaded execution (restart policy +
+    /// deterministic fault plan). Sim runs ignore it and stay fault-free.
+    pub fn with_supervision(mut self, supervision: Supervision) -> Self {
+        self.supervision = Some(supervision);
         self
     }
 }
@@ -370,6 +470,7 @@ pub fn build_served_topology(
     let parser = tb.add_bolt("parser", parsers, move |_| {
         Box::new(ParserBolt::new(report_period)) as Box<dyn Bolt<Msg>>
     });
+    assert_eq!(parser, PARSER_COMPONENT);
 
     let algo = config.algorithm;
     let (k, window, seed) = (config.k, config.window, config.seed);
@@ -421,12 +522,31 @@ pub fn build_served_topology(
     let calculator = {
         let recorder = recorder.clone();
         let live = config.live_migration;
+        // Poison-lock faults fire inside the bolt (the runtime cannot
+        // panic-while-holding-a-lock on a task's behalf). The latch is
+        // shared across incarnations so a restarted task never re-fires.
+        let poison: Option<(usize, u64)> = config.supervision.as_ref().and_then(|s| {
+            s.faults.iter().find_map(|f| match f {
+                Fault::PoisonLock {
+                    calculator,
+                    after_notifications,
+                } => Some((*calculator, *after_notifications)),
+                _ => None,
+            })
+        });
+        let poison_latch = Arc::new(std::sync::atomic::AtomicBool::new(false));
         tb.add_bolt("calculator", config.k, move |task| {
             let bolt = CalculatorBolt::with_backend(task, backend.build(task));
             let bolt = if live {
                 bolt.with_migration(calculator_id, k, recorder.clone())
             } else {
                 bolt
+            };
+            let bolt = match poison {
+                Some((victim, after)) if victim == task => {
+                    bolt.with_poison(after, poison_latch.clone())
+                }
+                _ => bolt,
             };
             Box::new(bolt) as Box<dyn Bolt<Msg>>
         })
@@ -552,6 +672,7 @@ fn run_with_publisher(
     publisher: Option<setcorr_serve::Publisher>,
 ) -> RunReport {
     let serve_counters = publisher.as_ref().map(|p| p.subscribe());
+    let degrade_flag = publisher.as_ref().map(|p| p.degrade_flag());
     let recorder = RunRecorder::shared(config.k);
     let topology = build_served_topology(config, docs, recorder.clone(), publisher);
     let names: Vec<String> = topology
@@ -559,18 +680,97 @@ fn run_with_publisher(
         .iter()
         .map(|s| s.to_string())
         .collect();
+    let mut supervised: Option<SupervisedStats> = None;
     let (documents, busy) = match mode {
         RunMode::Sim => {
             let stats = run_sim_batched(topology, batch_policy());
             (stats.processed[1], None) // parser input = documents
         }
-        RunMode::Threaded => {
-            let stats = run_threaded_batched(topology, ThreadedConfig::default(), batch_policy());
-            (
-                stats.processed[1],
-                Some((stats.busy_seconds, stats.task_busy_seconds)),
-            )
-        }
+        RunMode::Threaded => match &config.supervision {
+            None => {
+                let stats =
+                    run_threaded_batched(topology, ThreadedConfig::default(), batch_policy());
+                (
+                    stats.processed[1],
+                    Some((stats.busy_seconds, stats.task_busy_seconds)),
+                )
+            }
+            Some(sup) => {
+                let threaded = ThreadedConfig {
+                    send_tries: sup.send_tries,
+                    ..ThreadedConfig::default()
+                };
+                // Runtime-level faults; PoisonLock is armed inside the bolt
+                // (see `build_served_topology`) and surfaces to the
+                // supervisor as an injected panic like the others.
+                let faults = sup
+                    .faults
+                    .iter()
+                    .filter_map(|f| match *f {
+                        Fault::KillParser {
+                            task,
+                            after_messages,
+                        } => Some(FaultSpec::KillTask {
+                            component: PARSER_COMPONENT,
+                            task,
+                            after_messages,
+                        }),
+                        Fault::KillCalculator {
+                            task,
+                            after_messages,
+                        } => Some(FaultSpec::KillTask {
+                            component: CALCULATOR_COMPONENT,
+                            task,
+                            after_messages,
+                        }),
+                        Fault::DropAdopt { calculator, nth } => Some(FaultSpec::DropControl {
+                            component: CALCULATOR_COMPONENT,
+                            task: calculator,
+                            nth,
+                        }),
+                        Fault::PoisonLock { .. } => None,
+                    })
+                    .collect();
+                // Degradations fan out to the route-around machinery: the
+                // recorder bitmask (Disseminator repartitions around the
+                // dead Calculator, the Merger stops assigning it tags) and
+                // the serving store's honesty marker.
+                let on_degrade = {
+                    let recorder = recorder.clone();
+                    let flag = degrade_flag.clone();
+                    Arc::new(move |component: usize, task: usize| {
+                        if component == CALCULATOR_COMPONENT {
+                            recorder.lock().degraded_calcs |= 1u64 << task.min(63);
+                        }
+                        if let Some(flag) = &flag {
+                            flag.set();
+                        }
+                    }) as Arc<dyn Fn(usize, usize) + Send + Sync>
+                };
+                let supervise = SuperviseConfig {
+                    restart: RestartPolicy {
+                        max_restarts: sup.max_restarts,
+                        backoff_base: sup.backoff_base,
+                    },
+                    faults,
+                    drain_patience: sup.drain_patience,
+                    on_degrade: Some(on_degrade),
+                    ..SuperviseConfig::default()
+                };
+                let stats =
+                    match run_threaded_supervised(topology, threaded, batch_policy(), supervise) {
+                        Ok(stats) => stats,
+                        Err(e) => panic!("{e}"),
+                    };
+                let documents = stats.stats.processed[1];
+                let busy = (
+                    stats.stats.busy_seconds.clone(),
+                    stats.stats.task_busy_seconds.clone(),
+                );
+                supervised = Some(stats);
+                (documents, Some(busy))
+            }
+        },
     };
     let rec = recorder.lock();
     let mut report = RunReport::from_recorder(
@@ -593,6 +793,16 @@ fn run_with_publisher(
         report.snapshots_published = counters.snapshots_published();
         report.reader_acquisitions = counters.reader_acquisitions();
         report.snapshot_build_seconds = counters.build_seconds();
+    }
+    if let Some(stats) = supervised {
+        report.faults_injected = stats.faults_injected;
+        report.tasks_restarted = stats.tasks_restarted;
+        report.rounds_replayed = stats.rounds_replayed;
+        report.send_timeouts = stats.send_timeouts;
+        // degraded_tasks is sorted and deduplicated → distinct components
+        let mut components: Vec<usize> = stats.degraded_tasks.iter().map(|&(c, _)| c).collect();
+        components.dedup();
+        report.degraded_components = components.len() as u64;
     }
     report
 }

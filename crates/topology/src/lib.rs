@@ -26,8 +26,8 @@ pub mod report;
 pub use connectivity::{connectivity, ConnectivitySummary};
 pub use driver::{
     batch_policy, bootstrap_partitions, build_served_topology, build_topology, run, run_docs,
-    run_served, spawn_served, BackendKind, ExperimentConfig, LiveRun, PinnedPartitions, RunMode,
-    THREADED_BATCH,
+    run_served, spawn_served, BackendKind, ExperimentConfig, Fault, LiveRun, PinnedPartitions,
+    RunMode, Supervision, THREADED_BATCH,
 };
 pub use messages::Msg;
 pub use recorder::{RunRecorder, SharedRecorder};

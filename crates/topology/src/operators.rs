@@ -139,6 +139,20 @@ impl Bolt<Msg> for ParserBolt {
         );
         self.round += 1;
     }
+
+    /// The Parser's only state is the next round boundary, and it changes
+    /// exactly when a tick is emitted — which is when the supervisor
+    /// captures checkpoints. A restored Parser therefore resumes with the
+    /// round counter every already-processed document observed.
+    fn checkpoint(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        Some(Box::new(self.round))
+    }
+
+    fn restore(&mut self, cp: &dyn std::any::Any) {
+        if let Some(round) = cp.downcast_ref::<u64>() {
+            self.round = *round;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -316,12 +330,30 @@ impl Bolt<Msg> for MergerBolt {
                     _ => self.merger.merge(outputs, &window),
                 };
                 self.merged_epochs += 1;
-                self.recorder.lock().merges += 1;
+                let mut partitions = outcome.partitions;
+                // Graceful degradation: a permanently failed Calculator must
+                // never be assigned tags again — clear its partition so the
+                // Disseminator's coverage check routes its tagsets elsewhere
+                // (or honestly counts them unrouted when nobody else covers
+                // them), instead of notifying a tombstone.
+                let dead = {
+                    let mut rec = self.recorder.lock();
+                    rec.merges += 1;
+                    rec.degraded_calcs
+                };
+                if dead != 0 {
+                    for (i, part) in partitions.parts.iter_mut().enumerate() {
+                        if i < 64 && dead & (1u64 << i) != 0 {
+                            part.tags.clear();
+                            part.load = 0;
+                        }
+                    }
+                }
                 out.emit(
                     "partitions",
                     Msg::NewPartitions {
                         epoch,
-                        partitions: Arc::new(outcome.partitions),
+                        partitions: Arc::new(partitions),
                         reference: outcome.reference,
                     },
                 );
@@ -399,6 +431,11 @@ pub struct DisseminatorBolt {
     /// every intervening round's fan-in completes — no evidence may cross a
     /// round barrier.
     round_buffer: std::collections::BTreeMap<u64, Vec<TagSet>>,
+    /// Calculator tasks this bolt already knows are degraded — the last
+    /// [`crate::recorder::RunRecorder::degraded_calcs`] snapshot it acted
+    /// on. Compared at every round close; new bits trigger the route-around
+    /// repartition (see [`Self::relay_tick`]).
+    known_degraded: u64,
     recorder: SharedRecorder,
 }
 
@@ -444,6 +481,7 @@ impl DisseminatorBolt {
             relay_round: 0,
             ticks_seen: FxHashMap::default(),
             round_buffer: std::collections::BTreeMap::new(),
+            known_degraded: 0,
             recorder,
         }
     }
@@ -738,7 +776,30 @@ impl DisseminatorBolt {
     /// is delivered first.
     fn relay_tick(&mut self, round: u64, time: Timestamp, out: &mut dyn Emitter<Msg>) {
         self.flush_sample();
+        self.check_degraded(out);
         out.emit("calcticks", Msg::Tick { round, time });
+    }
+
+    /// Route around Calculators the supervised runtime has permanently
+    /// degraded: when the recorder's bitmask shows tasks this bolt has not
+    /// reacted to yet, request a fresh repartition. The Merger strips the
+    /// dead tasks' partitions from the new map, and the install's fence
+    /// migrates the surviving state to live owners via the normal handoff
+    /// protocol. Polled at round boundaries — ticks are rare, so the lock
+    /// stays off the per-document hot path.
+    fn check_degraded(&mut self, out: &mut dyn Emitter<Msg>) {
+        let degraded = self.recorder.lock().degraded_calcs;
+        let newly = degraded & !self.known_degraded;
+        if newly == 0 {
+            return;
+        }
+        self.known_degraded = degraded;
+        if self.installed_epoch.is_none() {
+            return; // bootstrap still in flight; the install will use a fresh mask
+        }
+        let epoch = self.epoch;
+        self.epoch += 1;
+        out.emit("repart", Msg::RepartitionRequest { epoch, cause: None });
     }
 
     /// The report round a tagset's event timestamp falls into.
@@ -842,6 +903,16 @@ pub struct CalculatorBolt {
     /// across batches (drain keeps capacity).
     batch_counts: FxHashMap<TagSet, u64>,
     recorder: Option<SharedRecorder>,
+    /// Deterministic poison-lock fault: after observing this many
+    /// notifications, take the recorder lock and panic while holding it
+    /// (exercising the lock shim's poison absorption end to end).
+    poison_after: Option<u64>,
+    /// One-shot latch shared across incarnations: the bolt factory
+    /// re-applies [`Self::with_poison`] with the same flag on restart, so
+    /// the fault fires once per run, not once per rebuilt instance.
+    poison_fired: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Notifications observed by *this* incarnation (poison trigger clock).
+    notifications_seen: u64,
 }
 
 impl CalculatorBolt {
@@ -867,6 +938,9 @@ impl CalculatorBolt {
             pending: std::collections::VecDeque::new(),
             batch_counts: FxHashMap::default(),
             recorder: None,
+            poison_after: None,
+            poison_fired: None,
+            notifications_seen: 0,
         }
     }
 
@@ -884,6 +958,45 @@ impl CalculatorBolt {
         self.live_migration = true;
         self.recorder = Some(recorder);
         self
+    }
+
+    /// Deterministic fault injection: after `after_notifications` observed
+    /// notifications, this task takes the recorder lock and panics while
+    /// holding it — the "poison a lock mid-update" fault of the supervision
+    /// test matrix. `fired` is the run-wide one-shot latch; pass the same
+    /// `Arc` from the bolt factory on every (re)build.
+    pub fn with_poison(
+        mut self,
+        after_notifications: u64,
+        fired: Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        self.poison_after = Some(after_notifications);
+        self.poison_fired = Some(fired);
+        self
+    }
+
+    /// Poison-trigger clock: counts an observed notification and, when the
+    /// injected fault is armed and due, panics *while holding the recorder
+    /// lock*. Fires before the notification reaches the backend, so the
+    /// checkpoint-and-replay recovery re-observes it exactly once.
+    fn note_notification(&mut self) {
+        self.notifications_seen += 1;
+        let Some(after) = self.poison_after else {
+            return;
+        };
+        if self.notifications_seen < after {
+            return;
+        }
+        if let Some(fired) = &self.poison_fired {
+            if fired.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                return; // already fired in a previous incarnation
+            }
+            let _guard = self.recorder.as_ref().map(|r| r.lock());
+            std::panic::panic_any(format!(
+                "injected fault: poison-lock (calculator {})",
+                self.id
+            ));
+        }
     }
 
     /// Handle one epoch fence: hand departing state to its new owners,
@@ -962,7 +1075,10 @@ impl CalculatorBolt {
     /// Process one data-stream message (notification, tick, or fence).
     fn handle_data(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
         match msg {
-            Msg::Notification { doc, tags } => self.calc.observe_doc(doc, &tags),
+            Msg::Notification { doc, tags } => {
+                self.note_notification();
+                self.calc.observe_doc(doc, &tags)
+            }
             Msg::Fence { epoch, partitions } => self.on_fence(epoch, partitions, out),
             Msg::Tick { round, .. } => {
                 let reports = self.calc.report_and_reset();
@@ -998,6 +1114,24 @@ impl CalculatorBolt {
             self.calc.observe_n(&tags, n);
         }
     }
+}
+
+/// A Calculator's round-fence checkpoint: the migration-bundle export of
+/// its backend (the same wire format live repartitioning hands between
+/// peers) plus the protocol counters that position it in the fence/adopt
+/// barrier. Captured by the supervised runtime after every barrier message
+/// (ticks, fences, adopts); restoring is `adopt_state` into a fresh backend
+/// — additive counters, min-merged signatures — plus a field-for-field
+/// counter restore.
+struct CalcCheckpoint {
+    state: MigrationBundle,
+    round: u64,
+    partitions: Option<Arc<PartitionSet>>,
+    fenced_epoch: Option<u64>,
+    fences: u64,
+    adopts: u64,
+    early_adopts: Vec<(u64, Arc<MigrationBundle>)>,
+    pending: std::collections::VecDeque<Msg>,
 }
 
 impl Bolt<Msg> for CalculatorBolt {
@@ -1053,6 +1187,7 @@ impl Bolt<Msg> for CalculatorBolt {
             }
             match msg {
                 Msg::Notification { tags, .. } => {
+                    self.note_notification();
                     *self.batch_counts.entry(tags).or_insert(0) += 1;
                 }
                 other => {
@@ -1086,6 +1221,112 @@ impl Bolt<Msg> for CalculatorBolt {
         // When the barrier closes, `drain_pending` has already replayed
         // every buffered message, so a drained task has nothing pending.
         !self.awaiting_adopts()
+    }
+
+    fn checkpoint(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        Some(Box::new(CalcCheckpoint {
+            state: self.calc.export_state(),
+            round: self.round,
+            partitions: self.partitions.clone(),
+            fenced_epoch: self.fenced_epoch,
+            fences: self.fences,
+            adopts: self.adopts,
+            early_adopts: self.early_adopts.clone(),
+            pending: self.pending.clone(),
+        }))
+    }
+
+    fn restore(&mut self, cp: &dyn std::any::Any) {
+        let Some(cp) = cp.downcast_ref::<CalcCheckpoint>() else {
+            return;
+        };
+        // The factory built this instance fresh, so adopting into the empty
+        // backend reproduces the checkpointed state exactly (counters are
+        // additive, signatures min-merge idempotently).
+        self.calc.adopt_state(&cp.state);
+        self.round = cp.round;
+        self.partitions = cp.partitions.clone();
+        self.fenced_epoch = cp.fenced_epoch;
+        self.fences = cp.fences;
+        self.adopts = cp.adopts;
+        self.early_adopts = cp.early_adopts.clone();
+        self.pending = cp.pending.clone();
+    }
+
+    /// Calculators emit only at barriers (reports at ticks, adopts at
+    /// fences) and checkpoints are captured right after each barrier, so
+    /// replaying the messages since the last checkpoint re-emits nothing
+    /// already sent — the definition of replay-safety.
+    fn replayable(&self) -> bool {
+        true
+    }
+
+    fn tombstone(&self) -> Option<Box<dyn Bolt<Msg>>> {
+        Some(Box::new(DegradedCalculator {
+            id: self.id,
+            component: self.component,
+            k: self.k,
+            live_migration: self.live_migration,
+        }))
+    }
+}
+
+/// Stand-in the supervised runtime installs when a Calculator exhausts its
+/// restart budget (graceful degradation). It tracks nothing, but keeps both
+/// cross-task protocols live so the rest of the topology finishes
+/// partial-but-honest instead of wedging:
+///
+/// * every tick still produces an (empty) [`Msg::CalcReport`], so the
+///   Tracker's `k`-way fan-in keeps closing rounds,
+/// * every fence still sends one empty [`Msg::Adopt`] per peer, so the
+///   surviving Calculators' migration barriers keep closing.
+///
+/// Notifications and incoming adopts are dropped — their evidence is lost,
+/// which the run report discloses via its degraded-component counters.
+struct DegradedCalculator {
+    id: usize,
+    component: ComponentId,
+    k: usize,
+    live_migration: bool,
+}
+
+impl Bolt<Msg> for DegradedCalculator {
+    fn on_message(&mut self, msg: Msg, out: &mut dyn Emitter<Msg>) {
+        match msg {
+            Msg::Tick { round, .. } => out.emit(
+                "coeffs",
+                Msg::CalcReport {
+                    round,
+                    calc: self.id,
+                    reports: Arc::new(Vec::new()),
+                },
+            ),
+            Msg::Fence { epoch, .. } if self.live_migration => {
+                let empty = Arc::new(MigrationBundle::default());
+                for peer in 0..self.k {
+                    if peer == self.id {
+                        continue;
+                    }
+                    out.emit_direct(
+                        "adopt",
+                        self.component,
+                        peer,
+                        Msg::Adopt {
+                            epoch,
+                            from: self.id,
+                            bundle: empty.clone(),
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs {
+            self.on_message(msg, out);
+        }
     }
 }
 

@@ -52,6 +52,12 @@ pub struct RunRecorder {
     /// `Arc`-held: the same storage backs the serving layer's published
     /// snapshots, so recording a round never copies it.
     pub tracked_rounds: FxHashMap<u64, Arc<Vec<TrackedCoefficient>>>,
+    /// Bitmask of Calculator tasks the supervised runtime has permanently
+    /// degraded (bit `i` = task `i`, tasks ≥ 64 saturate into bit 63). Set
+    /// from the supervisor's on-degrade hook; the Disseminator polls it at
+    /// round boundaries to trigger a route-around repartition, and the
+    /// Merger strips dead tasks' partitions from every map it emits.
+    pub degraded_calcs: u64,
 }
 
 impl RunRecorder {

@@ -94,6 +94,22 @@ pub struct RunReport {
     /// Serving layer: total seconds spent building + swapping snapshots
     /// (on the Tracker's round-close path).
     pub snapshot_build_seconds: f64,
+    /// Supervised runtime: deterministic faults the configured fault plan
+    /// actually fired during the run (0 for fault-free and sim runs).
+    pub faults_injected: u64,
+    /// Supervised runtime: task restarts the supervisor performed
+    /// (checkpoint-restore recoveries).
+    pub tasks_restarted: u64,
+    /// Supervised runtime: recoveries that replayed held messages from the
+    /// hold-and-replay buffer.
+    pub rounds_replayed: u64,
+    /// Supervised runtime: distinct *components* with at least one task
+    /// degraded to a tombstone after exhausting its restart budget. A
+    /// non-zero value marks the run's results as partial-but-honest.
+    pub degraded_components: u64,
+    /// Supervised runtime: bounded-enqueue send timeouts that fired (0
+    /// unless a send-timeout budget was configured).
+    pub send_timeouts: u64,
 }
 
 /// Sightings filter for the accuracy comparison: the baseline "considers
@@ -169,6 +185,11 @@ impl RunReport {
             snapshots_published: 0,
             reader_acquisitions: 0,
             snapshot_build_seconds: 0.0,
+            faults_injected: 0,
+            tasks_restarted: 0,
+            rounds_replayed: 0,
+            degraded_components: 0,
+            send_timeouts: 0,
         }
     }
 
@@ -264,6 +285,16 @@ impl RunReport {
             "snapshot_build_seconds",
             self.snapshot_build_seconds,
         );
+        out.push(',');
+        json_u64(&mut out, "faults_injected", self.faults_injected);
+        out.push(',');
+        json_u64(&mut out, "tasks_restarted", self.tasks_restarted);
+        out.push(',');
+        json_u64(&mut out, "rounds_replayed", self.rounds_replayed);
+        out.push(',');
+        json_u64(&mut out, "degraded_components", self.degraded_components);
+        out.push(',');
+        json_u64(&mut out, "send_timeouts", self.send_timeouts);
         out.push(',');
         out.push_str("\"operator_seconds\":{");
         for (i, (name, secs)) in self.operator_seconds.iter().enumerate() {

@@ -61,16 +61,18 @@ pub mod prelude {
         CorrelationBackend, Disseminator, DisseminatorConfig, Merger, PartitionInput, PartitionSet,
         QualityReference, RepartitionCause, TrackedCoefficient, Tracker,
     };
+    pub use setcorr_engine::{RestartPolicy, RunError};
     pub use setcorr_metrics::{gini, ErrorStats, Running};
     pub use setcorr_model::{
         Document, Tag, TagInterner, TagSet, TagSetStat, TagSetWindow, TimeDelta, Timestamp,
         WindowKind,
     };
-    pub use setcorr_serve::{QueryHandle, Snapshot};
+    pub use setcorr_serve::{DegradeFlag, QueryHandle, Snapshot};
     pub use setcorr_theory::{expected_communication, WindowScenario};
     pub use setcorr_topology::{
         bootstrap_partitions, connectivity, run, run_docs, run_served, spawn_served, BackendKind,
-        ConnectivitySummary, ExperimentConfig, LiveRun, PinnedPartitions, RunMode, RunReport,
+        ConnectivitySummary, ExperimentConfig, Fault, LiveRun, PinnedPartitions, RunMode,
+        RunReport, Supervision,
     };
     pub use setcorr_workload::{Generator, WorkloadConfig};
 }
