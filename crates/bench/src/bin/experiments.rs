@@ -17,6 +17,8 @@
 //!   sketch    the §2 sketch-overhead argument, quantified
 //!   ingest    per-tuple hot-path throughput (observe / route / e2e),
 //!             recorded to BENCH_ingest.json at the workspace root
+//!   channel   transport microbenchmark (ring vs Mutex baseline, SPSC /
+//!             MPMC at bursts 1/8/128), recorded to BENCH_channel.json
 //!   serve     serving layer under concurrent query load (reader qps,
 //!             ingest slowdown), recorded to BENCH_serve.json
 //!   all       Everything above
@@ -34,7 +36,7 @@
 //! ```
 
 use setcorr_bench::harness::{self, Grid, Scale};
-use setcorr_bench::{ingest, serving};
+use setcorr_bench::{channel, ingest, serving};
 use setcorr_topology::RunMode;
 use std::io::Write;
 
@@ -53,6 +55,25 @@ fn run_ingest(quick: bool, degree: usize) -> String {
             root.join("BENCH_ingest.json").display()
         ),
         Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+    report.render()
+}
+
+/// Run the channel transport microbenchmark, append a run record (git
+/// rev + mode) to `BENCH_channel.json` at the workspace root, and return
+/// the rendered summary.
+fn run_channel(quick: bool) -> String {
+    eprintln!("measuring channel transport vs the Mutex baseline (quick={quick})...");
+    let report = channel::measure(quick);
+    let root = channel::root();
+    match channel::write_json(&report, &root) {
+        Ok(()) => eprintln!(
+            "appended run record ({}, {}) to {}",
+            report.git_rev,
+            report.mode,
+            root.join("BENCH_channel.json").display()
+        ),
+        Err(e) => eprintln!("could not write BENCH_channel.json: {e}"),
     }
     report.render()
 }
@@ -151,6 +172,7 @@ fn main() {
         "ablation" => rendered.push(("ablation".into(), harness::ablation(&scale))),
         "sketch" => rendered.push(("sketch".into(), harness::sketch_overhead(&scale))),
         "ingest" => rendered.push(("ingest".into(), run_ingest(quick, degree))),
+        "channel" => rendered.push(("channel".into(), run_channel(quick))),
         "serve" => rendered.push(("serve".into(), run_serve(quick))),
         "fig8" => {
             let (f8, _) = harness::fig8_fig9(grid.as_ref().unwrap());
@@ -175,6 +197,7 @@ fn main() {
             rendered.push(("ablation".into(), harness::ablation(&scale)));
             rendered.push(("sketch".into(), harness::sketch_overhead(&scale)));
             rendered.push(("ingest".into(), run_ingest(quick, degree)));
+            rendered.push(("channel".into(), run_channel(quick)));
             rendered.push(("serve".into(), run_serve(quick)));
         }
         other => {

@@ -1,0 +1,463 @@
+//! Channel transport microbenchmark — ring vs the retired Mutex channel.
+//!
+//! Measures the shim's lock-free ring channel (the transport every
+//! threaded-runtime envelope crosses) against an in-crate copy of the
+//! Mutex + Condvar implementation it replaced, on the same scenarios:
+//!
+//! * **SPSC** — one producer, one consumer (the shape of most topology
+//!   edges: each bolt task owns its inbox);
+//! * **MPMC** — two producers, two consumers (fan-in edges under a
+//!   data-parallel front).
+//!
+//! Each scenario runs at burst sizes 1 / 8 / 128. Burst `b` moves `b`
+//! messages per synchronisation point through the ring's `send_many` /
+//! `recv_drain` endpoints; the Mutex baseline has no batch endpoints —
+//! one lock acquisition per message is exactly the cost the rebuild
+//! removed — so its per-message loop *is* its burst-`b` behaviour.
+//!
+//! The headline figure is the burst-128 SPSC speedup: 128 is the threaded
+//! runtime's `max_batch`, so this ratio is what the e2e flush path sees.
+//! On a single-core box (where e2e scaling gates cannot run) the CI smoke
+//! job regression-gates this ratio instead.
+//!
+//! [`ChannelReport::to_json`] emits one machine-readable line per run;
+//! `experiments channel` *appends* it (stamped with git revision and
+//! mode) to `BENCH_channel.json` at the workspace root — newest record
+//! last, same trajectory convention as `BENCH_ingest.json`.
+
+use crate::ingest::{git_rev, workspace_root};
+use std::thread;
+use std::time::Instant;
+
+/// Messages per scenario pass.
+const QUICK_MSGS: u64 = 200_000;
+const FULL_MSGS: u64 = 1_000_000;
+
+/// Channel capacity in messages, both transports. 256 slots keeps the
+/// ring in its contended regime (producers outrun consumers and block)
+/// without degenerating into lockstep.
+const CAPACITY: usize = 256;
+
+/// Interleaved repetitions per (scenario, burst, transport) cell; each
+/// cell records its best pass, so machine noise hits both transports
+/// equally.
+const REPS: usize = 3;
+
+/// Producer/consumer threads per side in the MPMC scenario.
+const MPMC_SIDE: usize = 2;
+
+/// One (scenario, burst) measurement pair.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// "spsc" or "mpmc".
+    pub scenario: &'static str,
+    /// Messages moved per synchronisation point on the ring side.
+    pub burst: usize,
+    /// Ring transport throughput, messages/sec.
+    pub ring_msgs_per_sec: f64,
+    /// Mutex baseline throughput, messages/sec.
+    pub mutex_msgs_per_sec: f64,
+    /// `ring_msgs_per_sec / mutex_msgs_per_sec`.
+    pub speedup: f64,
+}
+
+/// One channel-transport measurement, serialisable to `BENCH_channel.json`.
+#[derive(Debug, Clone)]
+pub struct ChannelReport {
+    /// Messages per scenario pass.
+    pub messages: u64,
+    /// Every (scenario, burst) cell measured.
+    pub results: Vec<ScenarioResult>,
+    /// The gated figure: SPSC speedup at burst 128 (the runtime's
+    /// `max_batch`).
+    pub speedup_spsc_128: f64,
+    /// `git rev-parse --short HEAD` at measurement time.
+    pub git_rev: String,
+    /// "quick" (CI smoke) or "full".
+    pub mode: &'static str,
+}
+
+impl ChannelReport {
+    /// Machine-readable JSON (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut cells = String::from("[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                cells.push(',');
+            }
+            cells.push_str(&format!(
+                concat!(
+                    "{{\"scenario\":\"{}\",\"burst\":{},",
+                    "\"ring_msgs_per_sec\":{:.1},\"mutex_msgs_per_sec\":{:.1},",
+                    "\"speedup\":{:.3}}}"
+                ),
+                r.scenario, r.burst, r.ring_msgs_per_sec, r.mutex_msgs_per_sec, r.speedup
+            ));
+        }
+        cells.push(']');
+        format!(
+            concat!(
+                "{{\"bench\":\"channel\",\"messages\":{},\"results\":{},",
+                "\"speedup_spsc_128\":{:.3},",
+                "\"git_rev\":\"{}\",\"mode\":\"{}\"}}"
+            ),
+            self.messages, cells, self.speedup_spsc_128, self.git_rev, self.mode
+        )
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "channel transport ({} msgs/pass, capacity {CAPACITY}, best of {REPS})\n",
+            self.messages
+        );
+        out.push_str("  scenario  burst      ring msg/s     mutex msg/s   speedup\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "  {:<8} {:>6} {:>15.0} {:>15.0} {:>8.2}x\n",
+                r.scenario, r.burst, r.ring_msgs_per_sec, r.mutex_msgs_per_sec, r.speedup
+            ));
+        }
+        out.push_str(&format!(
+            "  headline (spsc, burst 128): {:.2}x the Mutex baseline\n",
+            self.speedup_spsc_128
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar baseline — the transport this PR retired
+// ---------------------------------------------------------------------------
+
+/// The pre-rebuild channel, trimmed to what the measurement needs (bounded
+/// `send`/`recv`, disconnect on drop): a `VecDeque` behind one `Mutex` with
+/// a Condvar per direction, one lock acquisition per message on both ends.
+/// Kept here so every recorded run measures its own baseline on the same
+/// machine, exactly like the ingest bench's [`crate::ingest::BoxedCalculator`].
+mod mutex_baseline {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Core<T> {
+        inner: Mutex<Inner<T>>,
+        send_cv: Condvar,
+        recv_cv: Condvar,
+        capacity: usize,
+    }
+
+    pub struct Sender<T> {
+        core: Arc<Core<T>>,
+    }
+
+    pub struct Receiver<T> {
+        core: Arc<Core<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg`, blocking while the channel is at capacity; `Err`
+        /// hands the message back once every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), T> {
+            let mut inner = self.core.inner.lock().expect("channel poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(msg);
+                }
+                if inner.queue.len() >= self.core.capacity {
+                    inner = self.core.send_cv.wait(inner).expect("channel poisoned");
+                } else {
+                    break;
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.core.recv_cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.core.inner.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                core: self.core.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.core.inner.lock().expect("channel poisoned");
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                self.core.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; `Err` on a drained, disconnected
+        /// channel.
+        pub fn recv(&self) -> Result<T, ()> {
+            let mut inner = self.core.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.core.send_cv.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(());
+                }
+                inner = self.core.recv_cv.wait(inner).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.core.inner.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                core: self.core.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.core.inner.lock().expect("channel poisoned");
+                inner.receivers -= 1;
+                inner.receivers
+            };
+            if remaining == 0 {
+                self.core.send_cv.notify_all();
+            }
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let core = Arc::new(Core {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            send_cv: Condvar::new(),
+            recv_cv: Condvar::new(),
+            capacity: cap.max(1),
+        });
+        (Sender { core: core.clone() }, Receiver { core })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario passes
+// ---------------------------------------------------------------------------
+
+/// Ring transport pass: `producers`×`consumers` threads move `n` messages
+/// total, `burst` per synchronisation point. Returns elapsed seconds.
+fn ring_pass(n: u64, burst: usize, producers: usize, consumers: usize) -> f64 {
+    let (tx, rx) = crossbeam::channel::bounded::<u64>(CAPACITY);
+    let per_producer = n / producers as u64;
+    let start = Instant::now();
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                if burst <= 1 {
+                    for i in 0..per_producer {
+                        tx.send(i).expect("receiver vanished mid-bench");
+                    }
+                } else {
+                    let mut i = 0u64;
+                    while i < per_producer {
+                        let take = burst.min((per_producer - i) as usize);
+                        let batch: Vec<u64> = (i..i + take as u64).collect();
+                        tx.send_many(batch).expect("receiver vanished mid-bench");
+                        i += take as u64;
+                    }
+                }
+                std::hint::black_box(p);
+            })
+        })
+        .collect();
+    drop(tx); // consumers see Disconnected once the producers finish
+    let consumer_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut seen = 0u64;
+                let mut buf: Vec<u64> = Vec::with_capacity(burst);
+                while let Ok(v) = rx.recv() {
+                    std::hint::black_box(v);
+                    seen += 1;
+                    if burst > 1 {
+                        seen += rx.recv_drain(&mut buf, burst - 1) as u64;
+                        buf.clear();
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    drop(rx);
+    for h in producer_handles {
+        h.join().expect("producer panicked");
+    }
+    let seen: u64 = consumer_handles
+        .into_iter()
+        .map(|h| h.join().expect("consumer panicked"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(seen, per_producer * producers as u64, "ring lost messages");
+    elapsed
+}
+
+/// Mutex baseline pass over the same scenario. The baseline has no batch
+/// endpoints — its per-message loop is its burst behaviour at every size.
+fn mutex_pass(n: u64, producers: usize, consumers: usize) -> f64 {
+    let (tx, rx) = mutex_baseline::bounded::<u64>(CAPACITY);
+    let per_producer = n / producers as u64;
+    let start = Instant::now();
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..per_producer {
+                    tx.send(i).expect("receiver vanished mid-bench");
+                }
+                std::hint::black_box(p);
+            })
+        })
+        .collect();
+    drop(tx);
+    let consumer_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut seen = 0u64;
+                while let Ok(v) = rx.recv() {
+                    std::hint::black_box(v);
+                    seen += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+    drop(rx);
+    for h in producer_handles {
+        h.join().expect("producer panicked");
+    }
+    let seen: u64 = consumer_handles
+        .into_iter()
+        .map(|h| h.join().expect("consumer panicked"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(seen, per_producer * producers as u64, "mutex lost messages");
+    elapsed
+}
+
+/// Run the full channel measurement. `quick` shrinks the per-scenario
+/// message count for CI smoke runs; the recorded *ratios* are the same,
+/// the absolute rates noisier.
+pub fn measure(quick: bool) -> ChannelReport {
+    let n = if quick { QUICK_MSGS } else { FULL_MSGS };
+    let mut results = Vec::new();
+    let mut speedup_spsc_128 = 0.0;
+    for (scenario, producers, consumers) in [("spsc", 1, 1), ("mpmc", MPMC_SIDE, MPMC_SIDE)] {
+        for burst in [1usize, 8, 128] {
+            // interleaved best-of: ring, mutex, ring, mutex, …
+            let (mut best_ring, mut best_mutex) = (f64::MAX, f64::MAX);
+            for _ in 0..REPS {
+                best_ring = best_ring.min(ring_pass(n, burst, producers, consumers));
+                best_mutex = best_mutex.min(mutex_pass(n, producers, consumers));
+            }
+            let ring_msgs_per_sec = n as f64 / best_ring.max(1e-9);
+            let mutex_msgs_per_sec = n as f64 / best_mutex.max(1e-9);
+            let speedup = ring_msgs_per_sec / mutex_msgs_per_sec.max(1e-9);
+            if scenario == "spsc" && burst == 128 {
+                speedup_spsc_128 = speedup;
+            }
+            results.push(ScenarioResult {
+                scenario,
+                burst,
+                ring_msgs_per_sec,
+                mutex_msgs_per_sec,
+                speedup,
+            });
+        }
+    }
+    ChannelReport {
+        messages: n,
+        results,
+        speedup_spsc_128,
+        git_rev: git_rev(),
+        mode: if quick { "quick" } else { "full" },
+    }
+}
+
+/// Append `report` as one JSON line to `BENCH_channel.json` in `dir` (the
+/// workspace root by convention) — JSON-lines, newest record last, the
+/// same trajectory convention as `BENCH_ingest.json`.
+pub fn write_json(report: &ChannelReport, dir: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let path = dir.join("BENCH_channel.json");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all((report.to_json() + "\n").as_bytes())
+}
+
+/// The workspace root (re-exported convenience for the bin).
+pub fn root() -> std::path::PathBuf {
+    workspace_root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_transports_conserve_messages_on_a_tiny_pass() {
+        // the passes assert conservation internally; a tiny run of every
+        // scenario/burst cell exercises those asserts without bench cost
+        for (producers, consumers) in [(1, 1), (2, 2)] {
+            for burst in [1, 8, 128] {
+                ring_pass(2_000, burst, producers, consumers);
+            }
+            mutex_pass(2_000, producers, consumers);
+        }
+    }
+
+    #[test]
+    fn report_serialises_with_the_gated_figure() {
+        let report = ChannelReport {
+            messages: 10,
+            results: vec![ScenarioResult {
+                scenario: "spsc",
+                burst: 128,
+                ring_msgs_per_sec: 30.0,
+                mutex_msgs_per_sec: 10.0,
+                speedup: 3.0,
+            }],
+            speedup_spsc_128: 3.0,
+            git_rev: "abc1234".into(),
+            mode: "quick",
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bench\":\"channel\""));
+        assert!(json.contains("\"speedup_spsc_128\":3.000"));
+        assert!(json.contains("\"burst\":128"));
+    }
+}

@@ -85,6 +85,12 @@ pub struct IngestReport {
     /// `(component, seconds inside its operator callbacks)` — where the
     /// run's time went, not just how long it took.
     pub e2e_operator_seconds: Vec<(String, f64)>,
+    /// Total blocking sends across all channels of the best batched e2e
+    /// run (producers parked on full inboxes — backpressure pressure).
+    pub e2e_send_waits: u64,
+    /// Total blocking receives across all channels of the best batched
+    /// e2e run (consumers parked on empty inboxes — idle waiting).
+    pub e2e_recv_waits: u64,
     /// Front parallelism of the e2e runs: the number of spout shards and
     /// parser instances. The micro passes (observe/route) are
     /// degree-independent; only the e2e figures scale with this.
@@ -118,6 +124,7 @@ impl IngestReport {
                 "\"e2e_supervised_docs_per_sec\":{:.1},",
                 "\"faults\":{},\"batch\":{},",
                 "\"e2e_operator_seconds\":{},\"parallelism\":{},",
+                "\"e2e_send_waits\":{},\"e2e_recv_waits\":{},",
                 "\"git_rev\":\"{}\",\"mode\":\"{}\"}}"
             ),
             self.docs,
@@ -135,6 +142,8 @@ impl IngestReport {
             THREADED_BATCH,
             operator,
             self.parallelism,
+            self.e2e_send_waits,
+            self.e2e_recv_waits,
             self.git_rev,
             self.mode,
         )
@@ -176,6 +185,10 @@ impl IngestReport {
                 out.push_str(&format!("    {name:<14} {secs:>8.3}s\n"));
             }
         }
+        out.push_str(&format!(
+            "  e2e channel waits (send/recv)    {:>12}\n",
+            format!("{}/{}", self.e2e_send_waits, self.e2e_recv_waits)
+        ));
         out
     }
 }
@@ -446,6 +459,7 @@ pub fn measure(quick: bool, parallelism: usize) -> IngestReport {
         (f64::MAX, f64::MAX, f64::MAX);
     let mut e2e_documents = 0u64;
     let mut e2e_operator_seconds: Vec<(String, f64)> = Vec::new();
+    let (mut e2e_send_waits, mut e2e_recv_waits) = (0u64, 0u64);
     for _ in 0..e2e_reps {
         let recorder = RunRecorder::shared(config.k);
         let topology = build_topology(
@@ -469,6 +483,8 @@ pub fn measure(quick: bool, parallelism: usize) -> IngestReport {
             best_batched = elapsed;
             // the per-operator breakdown of the recorded (best) run
             e2e_operator_seconds = names.into_iter().zip(stats.busy_seconds.clone()).collect();
+            e2e_send_waits = stats.channel_send_waits.iter().sum();
+            e2e_recv_waits = stats.channel_recv_waits.iter().sum();
         }
         e2e_documents = stats.processed[1];
 
@@ -519,6 +535,8 @@ pub fn measure(quick: bool, parallelism: usize) -> IngestReport {
         e2e_supervised_docs_per_sec,
         faults: 0,
         e2e_operator_seconds,
+        e2e_send_waits,
+        e2e_recv_waits,
         parallelism,
         git_rev: git_rev(),
         mode: if quick { "quick" } else { "full" },
@@ -658,6 +676,8 @@ mod tests {
             e2e_supervised_docs_per_sec: 3.9,
             faults: 0,
             e2e_operator_seconds: vec![("parser".to_string(), 0.25), ("baseline".to_string(), 1.5)],
+            e2e_send_waits: 7,
+            e2e_recv_waits: 11,
             parallelism: 4,
             git_rev: "abc1234".to_string(),
             mode: "quick",
@@ -674,6 +694,8 @@ mod tests {
         assert!(j.contains("\"e2e_supervised_docs_per_sec\":3.9"));
         assert!(j.contains("\"faults\":0"));
         assert!(j.contains("\"parallelism\":4"));
+        assert!(j.contains("\"e2e_send_waits\":7"));
+        assert!(j.contains("\"e2e_recv_waits\":11"));
         assert!(j.contains("\"git_rev\":\"abc1234\""));
         assert!(j.contains("\"mode\":\"quick\""));
     }

@@ -8,6 +8,7 @@
 //! same rows/series the paper plots and appends machine-readable JSON to
 //! `results/`.
 
+pub mod channel;
 pub mod fixtures;
 pub mod harness;
 pub mod ingest;

@@ -43,8 +43,8 @@
 //! bugs surfacing mid-test.
 
 use crate::threaded::{
-    decode_panic, slot_capacity, wire, BatchPolicy, Envelope, RunError, ThreadStats,
-    ThreadedConfig, ThreadedEmitter, Wiring,
+    decode_panic, slot_capacity, wire, BatchPolicy, BatchPool, Envelope, RunError, ThreadStats,
+    ThreadedConfig, ThreadedEmitter, Wiring, DRAIN_BURST,
 };
 use crate::topology::{Bolt, ComponentId, ComponentKind, Emitter, Topology};
 use crossbeam::channel::{Receiver, TryRecvError};
@@ -397,7 +397,9 @@ pub fn run_threaded_supervised<M: Clone + Send + 'static>(
         mut receivers,
         expected_eos,
         edges_of,
+        counters,
     } = wire(&mut topology, capacity);
+    let pool = BatchPool::new(policy.max_batch);
 
     let ledger = Arc::new(Ledger::default());
     let parallelism_of: Vec<usize> = topology.components.iter().map(|s| s.parallelism).collect();
@@ -418,9 +420,11 @@ pub fn run_threaded_supervised<M: Clone + Send + 'static>(
                     let kill_at = kill_for(&sup.faults, c, t);
                     let ledger = ledger.clone();
                     let on_degrade = sup.on_degrade.clone();
+                    let pool = pool.clone();
                     identities.push((c, t));
                     handles.push(thread::spawn(move || {
-                        let mut emitter = ThreadedEmitter::new(edges, t, Some(&policy), send_tries);
+                        let mut emitter =
+                            ThreadedEmitter::new(edges, t, Some(&policy), send_tries, Some(pool));
                         let mut produced = 0u64;
                         let start = Instant::now();
                         // A spout has no upstream to replay it, so its
@@ -467,11 +471,12 @@ pub fn run_threaded_supervised<M: Clone + Send + 'static>(
                     let factory = factory.clone();
                     let ledger = ledger.clone();
                     let sup = sup.clone();
+                    let pool = pool.clone();
                     identities.push((c, t));
                     handles.push(thread::spawn(move || {
                         run_supervised_bolt_task(
                             c, t, bolt, factory, data_rx, ctl_rx, edges, policy, quota, send_tries,
-                            ledger, sup,
+                            pool, ledger, sup,
                         )
                     }));
                 }
@@ -487,6 +492,8 @@ pub fn run_threaded_supervised<M: Clone + Send + 'static>(
         emitted: vec![0; n],
         busy_seconds: vec![0.0; n],
         task_busy_seconds: parallelism_of.iter().map(|&p| vec![0.0; p]).collect(),
+        channel_send_waits: vec![0; n],
+        channel_recv_waits: vec![0; n],
     };
     let mut first_error: Option<RunError> = None;
     for (h, (hc, ht)) in handles.into_iter().zip(identities) {
@@ -508,6 +515,12 @@ pub fn run_threaded_supervised<M: Clone + Send + 'static>(
                     }));
                 }
             }
+        }
+    }
+    for (c, task_counters) in counters.iter().enumerate() {
+        for (data, ctl) in task_counters {
+            stats.channel_send_waits[c] += data.send_waits() + ctl.send_waits();
+            stats.channel_recv_waits[c] += data.recv_waits() + ctl.recv_waits();
         }
     }
     if let Some(e) = first_error {
@@ -558,26 +571,28 @@ fn drops_for(faults: &[FaultSpec], component: ComponentId, task: usize) -> Vec<u
 }
 
 /// The supervised message loop of one bolt task. Mirrors the bare runtime's
-/// loop (Eos quota, post-Eos control drain gated on `drained()`), with three
-/// changes: polling receives (so drain starvation is observable), every
-/// callback supervised through [`TaskSupervisor::process`], and the fault
-/// schedule applied to the task's own message/control counts.
+/// loop (Eos quota, event-driven `select!` receives with burst drains,
+/// post-Eos control drain gated on `drained()`), with three changes: the
+/// post-Eos drain polls (so drain starvation is observable), every
+/// callback is supervised through [`TaskSupervisor::process`], and the
+/// fault schedule is applied to the task's own message/control counts.
 #[allow(clippy::too_many_arguments)]
 fn run_supervised_bolt_task<M: Clone + Send + 'static>(
     c: ComponentId,
     t: usize,
     bolt: Box<dyn Bolt<M>>,
     factory: Arc<Mutex<crate::topology::BoltFactory<M>>>,
-    data_rx: Receiver<Envelope<M>>,
-    ctl_rx: Receiver<Envelope<M>>,
+    mut data_rx: Receiver<Envelope<M>>,
+    mut ctl_rx: Receiver<Envelope<M>>,
     edges: Arc<Vec<crate::threaded::EdgeRt<M>>>,
     policy: BatchPolicy<M>,
     quota: usize,
     send_tries: Option<u64>,
+    pool: std::sync::Arc<BatchPool<M>>,
     ledger: Arc<Ledger>,
     sup: SuperviseConfig,
 ) -> (ComponentId, usize, u64, u64, f64) {
-    let mut emitter = ThreadedEmitter::new(edges, t, Some(&policy), send_tries);
+    let mut emitter = ThreadedEmitter::new(edges, t, Some(&policy), send_tries, Some(pool));
     let barrier_of = policy.barrier.clone();
     let can_replay = bolt.replayable() && bolt.checkpoint().is_some();
     let mut supervisor = TaskSupervisor {
@@ -609,6 +624,7 @@ fn run_supervised_bolt_task<M: Clone + Send + 'static>(
     let mut ctl_open = true;
     let mut ctl_seen = 0u64;
     let mut empty_polls = 0u64;
+    let mut burst: Vec<Envelope<M>> = Vec::new();
 
     loop {
         let data_done = eos_seen >= quota || !data_open;
@@ -627,6 +643,80 @@ fn run_supervised_bolt_task<M: Clone + Send + 'static>(
             continue;
         }
 
+        if !data_done {
+            // Hot path: park on the channels exactly like the bare
+            // runtime's loop — event-driven wakeups, and after each
+            // select-returned envelope a burst drain pulls the rest of the
+            // queued run with one synchronisation point. Every envelope
+            // still runs through the supervisor, so fault positions in
+            // message counts are unaffected by how it was received.
+            crossbeam::channel::select! {
+                recv(data_rx) -> m => match m {
+                    Ok(Envelope::Eos) => eos_seen += 1,
+                    Ok(env) => {
+                        let barrier = matches!(&env, Envelope::Data(m) if (barrier_of)(m));
+                        let t0 = Instant::now();
+                        processed += supervisor.process(env, &mut emitter, barrier);
+                        busy += t0.elapsed();
+                        if data_rx.recv_drain(&mut burst, DRAIN_BURST) > 0 {
+                            for env in burst.drain(..) {
+                                if matches!(env, Envelope::Eos) {
+                                    eos_seen += 1;
+                                    continue;
+                                }
+                                if !supervisor.pending.is_empty() {
+                                    // A panic queued redeliveries, and they
+                                    // must run before anything received after
+                                    // them: park the rest of the burst behind
+                                    // the replay queue, preserving FIFO.
+                                    supervisor.pending.push_back(env);
+                                    continue;
+                                }
+                                let barrier =
+                                    matches!(&env, Envelope::Data(m) if (barrier_of)(m));
+                                let t0 = Instant::now();
+                                processed += supervisor.process(env, &mut emitter, barrier);
+                                busy += t0.elapsed();
+                            }
+                        }
+                    }
+                    // park the disconnected side so the select does not
+                    // spin on its error
+                    Err(_) => {
+                        data_open = false;
+                        data_rx = crossbeam::channel::never();
+                    }
+                },
+                recv(ctl_rx) -> m => match m {
+                    Ok(Envelope::Eos) => {}
+                    Ok(env) => {
+                        ctl_seen += 1;
+                        if let Some(pos) = drop_nths.iter().position(|&nth| nth == ctl_seen) {
+                            // The scheduled lost message: swallow it. The
+                            // starvation detector below is what digs the
+                            // topology out of the resulting wedge.
+                            drop_nths.swap_remove(pos);
+                            ledger.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            let barrier = matches!(&env, Envelope::Data(m) if (barrier_of)(m));
+                            let t0 = Instant::now();
+                            processed += supervisor.process(env, &mut emitter, barrier);
+                            busy += t0.elapsed();
+                        }
+                    }
+                    Err(_) => {
+                        ctl_open = false;
+                        ctl_rx = crossbeam::channel::never();
+                    }
+                },
+            }
+            continue;
+        }
+
+        // Post-Eos control drain: polling receives, so a starved drain (a
+        // lost control message nothing will ever send) is observable as
+        // `drain_patience` consecutive empty polls rather than an
+        // indefinite park.
         let mut progressed = false;
         if data_open {
             match data_rx.try_recv() {

@@ -34,10 +34,10 @@
 //!   whose latency bounds the repartition/migration protocols.
 
 use crate::topology::{ComponentId, ComponentKind, Emitter, Grouping, Topology};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, ChannelCounters, Receiver, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Structured failure of a threaded run — *which* operator died and why,
 /// instead of a bare panic message out of a `join().expect(..)`.
@@ -148,6 +148,15 @@ pub struct ThreadStats {
     /// instance" from "N evenly-loaded instances" — `busy_seconds[c]`
     /// is exactly `task_busy_seconds[c].iter().sum()`.
     pub task_busy_seconds: Vec<Vec<f64>>,
+    /// Transport contention, per component: how many times a *producer*
+    /// parked because this component's inboxes were full (backpressure
+    /// stalls). Spouts have no inbox and report zero. Summed over the
+    /// component's tasks and over both its data and control inboxes.
+    pub channel_send_waits: Vec<u64>,
+    /// Transport contention, per component: how many times this component's
+    /// tasks parked waiting for input (empty inboxes). A `select!` park
+    /// observing both inboxes counts once per observed channel.
+    pub channel_recv_waits: Vec<u64>,
 }
 
 /// Tunables of the threaded runtime.
@@ -159,12 +168,14 @@ pub struct ThreadedConfig {
     /// the bound (they are control messages flowing against the data
     /// direction; blocking on them could deadlock the cycle).
     pub inbox_capacity: usize,
-    /// Send-timeout for bounded-channel enqueues: `Some(n)` makes each
-    /// blocked send retry at most `n` times (parking briefly between tries)
-    /// and then fail the run with [`RunError::SendTimeout`] — a wedged
-    /// downstream surfaces as a fault instead of a silent deadlock.
-    /// `None` (the default) blocks forever, the classical backpressure
-    /// behaviour.
+    /// Send-timeout for bounded-channel enqueues: `Some(n)` gives each
+    /// blocked send a patience budget of `n × 50µs` — it registers once on
+    /// the channel's wait set and sleeps until a slot frees or the budget
+    /// expires, then fails the run with [`RunError::SendTimeout`] — so a
+    /// wedged downstream surfaces as a fault instead of a silent deadlock,
+    /// and probing it costs one wait-set registration rather than `n`
+    /// lock-acquiring retries. `None` (the default) blocks forever, the
+    /// classical backpressure behaviour.
     pub send_tries: Option<u64>,
 }
 
@@ -188,8 +199,11 @@ pub(crate) enum Envelope<M> {
 
 /// Deliver one envelope, honouring the send-timeout mode. Disconnects are
 /// dropped silently (dead-executor semantics, see [`dispatch`]); exhausting
-/// `Some(tries)` on a full channel panics with [`RunError::SendTimeout`],
-/// which the join path (or a supervisor) turns into a structured failure.
+/// `Some(tries)`' patience budget (`tries × 50µs`) on a full channel panics
+/// with [`RunError::SendTimeout`], which the join path (or a supervisor)
+/// turns into a structured failure. The budgeted path rides the channel's
+/// wait-set primitive: one registration, woken when a slot frees, instead
+/// of `tries` lock-acquiring retry rounds.
 pub(crate) fn deliver<M>(
     tries: Option<u64>,
     to: ComponentId,
@@ -200,18 +214,11 @@ pub(crate) fn deliver<M>(
         let _ = sender.send(env);
         return;
     };
-    let mut env = env;
-    for _ in 0..tries {
-        match sender.try_send(env) {
-            Ok(()) => return,
-            Err(TrySendError::Disconnected(_)) => return,
-            Err(TrySendError::Full(back)) => {
-                env = back;
-                thread::sleep(std::time::Duration::from_micros(50));
-            }
-        }
+    let patience = Duration::from_micros(tries.saturating_mul(50));
+    match sender.send_timeout(env, patience) {
+        Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Full(_)) => std::panic::panic_any(RunError::SendTimeout { to, tries }),
     }
-    std::panic::panic_any(RunError::SendTimeout { to, tries });
 }
 
 /// Batching tunables for [`run_threaded_batched`].
@@ -248,6 +255,44 @@ impl<M> BatchPolicy<M> {
     }
 }
 
+/// Recycles batch `Vec<M>` allocations through the topology: emitters draw
+/// flush buffers from here instead of allocating one per flush, and
+/// consumers hand spent batch vectors back via
+/// [`Emitter::recycle`](crate::topology::Emitter::recycle). Backed by a
+/// bounded lock-free channel (the same MPMC ring as the data edges), so a
+/// get/put is one CAS; an empty pool falls back to a fresh allocation and a
+/// full pool lets the returned vector drop.
+pub(crate) struct BatchPool<M> {
+    tx: Sender<Vec<M>>,
+    rx: Receiver<Vec<M>>,
+    max_batch: usize,
+}
+
+impl<M> BatchPool<M> {
+    /// Buffers retained across the whole topology; beyond this, returned
+    /// vectors are simply freed.
+    const POOL_SLOTS: usize = 256;
+
+    pub(crate) fn new(max_batch: usize) -> Arc<Self> {
+        let (tx, rx) = bounded(Self::POOL_SLOTS);
+        Arc::new(BatchPool { tx, rx, max_batch })
+    }
+
+    pub(crate) fn get(&self) -> Vec<M> {
+        self.rx
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.max_batch))
+    }
+
+    pub(crate) fn put(&self, mut spent: Vec<M>) {
+        spent.clear();
+        if spent.capacity() == 0 {
+            return;
+        }
+        let _ = self.tx.try_send(spent);
+    }
+}
+
 pub(crate) struct EdgeRt<M> {
     pub(crate) stream: &'static str,
     pub(crate) to: ComponentId,
@@ -270,6 +315,9 @@ struct Batching<M> {
     max_batch: usize,
     barrier: Arc<dyn Fn(&M) -> bool + Send + Sync>,
     bufs: Vec<BatchBuf<M>>,
+    /// Topology-wide recycler the flush paths draw replacement buffers
+    /// from, fed by consumers returning spent batch vectors.
+    pool: Arc<BatchPool<M>>,
 }
 
 /// Flush every pending batch buffer (barrier messages and Eos call this).
@@ -277,7 +325,7 @@ fn flush_all_batches<M>(tries: Option<u64>, batching: &mut Option<Batching<M>>) 
     if let Some(b) = batching {
         for d in &mut b.bufs {
             if !d.buf.is_empty() {
-                let batch = std::mem::take(&mut d.buf);
+                let batch = std::mem::replace(&mut d.buf, b.pool.get());
                 deliver(tries, d.to, &d.sender, Envelope::Batch(batch));
             }
         }
@@ -303,13 +351,53 @@ fn dispatch<M>(
             let dest = &mut b.bufs[slot];
             dest.buf.push(msg);
             if dest.buf.len() >= b.max_batch {
-                let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
+                let batch = std::mem::replace(&mut dest.buf, b.pool.get());
                 deliver(tries, dest.to, &dest.sender, Envelope::Batch(batch));
             }
             return;
         }
     }
     deliver(tries, to, sender, Envelope::Data(msg));
+}
+
+/// Deliver an oversized batch as a burst of `max_batch`-sized envelopes
+/// pushed with a single [`Sender::send_many`] call — one synchronisation
+/// point for the whole burst — keeping the inbox's capacity denomination
+/// (messages per slot) honest instead of smuggling an arbitrarily large
+/// batch through one ring slot. With a send-timeout budget the chunks fall
+/// back to per-envelope [`deliver`] so each enqueue keeps its deadline.
+fn deliver_chunked<M>(
+    tries: Option<u64>,
+    to: ComponentId,
+    sender: &Sender<Envelope<M>>,
+    msgs: Vec<M>,
+    max_batch: usize,
+) {
+    if msgs.len() <= max_batch {
+        deliver(tries, to, sender, Envelope::Batch(msgs));
+        return;
+    }
+    let mut iter = msgs.into_iter();
+    if tries.is_some() {
+        loop {
+            let chunk: Vec<M> = iter.by_ref().take(max_batch).collect();
+            if chunk.is_empty() {
+                return;
+            }
+            deliver(tries, to, sender, Envelope::Batch(chunk));
+        }
+    }
+    let mut envs: Vec<Envelope<M>> = Vec::with_capacity(iter.len() / max_batch + 1);
+    loop {
+        let chunk: Vec<M> = iter.by_ref().take(max_batch).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        envs.push(Envelope::Batch(chunk));
+    }
+    // A disconnect mid-burst means the consumer shut down: dropped
+    // silently, exactly like the single-envelope path.
+    let _ = sender.send_many(envs);
 }
 
 /// Deliver a whole batch to one destination: full batches bypass the
@@ -329,15 +417,16 @@ fn dispatch_batch<M>(
         if let Some(b) = batching {
             let dest = &mut b.bufs[slot];
             if !dest.buf.is_empty() && dest.buf.len() + msgs.len() > b.max_batch {
-                let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
+                let batch = std::mem::replace(&mut dest.buf, b.pool.get());
                 deliver(tries, dest.to, &dest.sender, Envelope::Batch(batch));
             }
             if msgs.len() >= b.max_batch {
-                deliver(tries, dest.to, &dest.sender, Envelope::Batch(msgs));
+                deliver_chunked(tries, dest.to, &dest.sender, msgs, b.max_batch);
             } else {
                 dest.buf.append(&mut msgs);
+                b.pool.put(msgs);
                 if dest.buf.len() >= b.max_batch {
-                    let batch = std::mem::replace(&mut dest.buf, Vec::with_capacity(b.max_batch));
+                    let batch = std::mem::replace(&mut dest.buf, b.pool.get());
                     deliver(tries, dest.to, &dest.sender, Envelope::Batch(batch));
                 }
             }
@@ -402,6 +491,12 @@ fn route_one<M: Clone>(
 /// Slot marker for destinations that never batch (feedback edges).
 const UNBATCHED: usize = usize::MAX;
 
+/// Envelopes a bolt task drains from its data inbox per `select!` wakeup
+/// beyond the one the select returned: enough to empty a whole inbox of
+/// batch slots in one claim, small enough that the control inbox is never
+/// starved for long (it is re-polled right after the burst).
+pub(crate) const DRAIN_BURST: usize = 32;
+
 pub(crate) struct ThreadedEmitter<M> {
     pub(crate) edges: Arc<Vec<EdgeRt<M>>>,
     /// Per-edge, per-consumer-task batch buffer index ([`UNBATCHED`] for
@@ -427,11 +522,13 @@ impl<M> ThreadedEmitter<M> {
         task: usize,
         policy: Option<&BatchPolicy<M>>,
         send_tries: Option<u64>,
+        pool: Option<Arc<BatchPool<M>>>,
     ) -> Self {
         let n_edges = edges.len();
         let (slots, batching) = match policy {
             None => (Vec::new(), None),
             Some(policy) => {
+                let pool = pool.unwrap_or_else(|| BatchPool::new(policy.max_batch));
                 let mut slots: Vec<Vec<usize>> = Vec::with_capacity(n_edges);
                 let mut bufs: Vec<BatchBuf<M>> = Vec::new();
                 let mut slot_of: std::collections::HashMap<(ComponentId, usize), usize> =
@@ -447,7 +544,7 @@ impl<M> ThreadedEmitter<M> {
                             bufs.push(BatchBuf {
                                 to: e.to,
                                 sender: s.clone(),
-                                buf: Vec::with_capacity(policy.max_batch),
+                                buf: pool.get(),
                             });
                             bufs.len() - 1
                         });
@@ -461,6 +558,7 @@ impl<M> ThreadedEmitter<M> {
                         max_batch: policy.max_batch,
                         barrier: policy.barrier.clone(),
                         bufs,
+                        pool,
                     }),
                 )
             }
@@ -486,6 +584,12 @@ impl<M> ThreadedEmitter<M> {
 }
 
 impl<M: Clone> Emitter<M> for ThreadedEmitter<M> {
+    fn recycle(&mut self, spent: Vec<M>) {
+        if let Some(b) = &self.batching {
+            b.pool.put(spent);
+        }
+    }
+
     fn emit(&mut self, stream: &'static str, msg: M) {
         let barrier = match &self.batching {
             Some(b) => (b.barrier)(&msg),
@@ -758,6 +862,12 @@ pub(crate) struct Wiring<M> {
     pub(crate) expected_eos: Vec<usize>,
     /// Per-producer routing tables (shared across its tasks).
     pub(crate) edges_of: Vec<Arc<Vec<EdgeRt<M>>>>,
+    /// Per-task (data inbox, control inbox) contention counter handles,
+    /// indexed like `receivers` (empty for spouts). Arc'd snapshots of the
+    /// channels' own counters: they stay readable after every endpoint is
+    /// dropped, which is how the run folds transport contention into
+    /// [`ThreadStats`] post-join.
+    pub(crate) counters: Vec<Vec<(ChannelCounters, ChannelCounters)>>,
 }
 
 /// Build channels and routing tables for `topology` (draining its edge
@@ -771,20 +881,24 @@ pub(crate) fn wire<M>(topology: &mut Topology<M>, capacity: usize) -> Wiring<M> 
     type Outboxes<M> = Vec<Vec<(Sender<Envelope<M>>, Sender<Envelope<M>>)>>;
     let mut receivers: InboxReceivers<M> = Vec::with_capacity(n);
     let mut senders: Outboxes<M> = Vec::with_capacity(n);
+    let mut counters: Vec<Vec<(ChannelCounters, ChannelCounters)>> = Vec::with_capacity(n);
     for spec in &topology.components {
         let is_bolt = matches!(spec.kind, ComponentKind::Bolt(_));
         let mut rx = Vec::new();
         let mut tx = Vec::new();
+        let mut ct = Vec::new();
         if is_bolt {
             for _ in 0..spec.parallelism {
                 let (ds, dr) = bounded(capacity);
                 let (cs, cr) = unbounded();
+                ct.push((dr.counters(), cr.counters()));
                 tx.push((ds, cs));
                 rx.push(Some((dr, cr)));
             }
         }
         receivers.push(rx);
         senders.push(tx);
+        counters.push(ct);
     }
 
     let mut expected_eos = vec![0usize; n];
@@ -823,6 +937,7 @@ pub(crate) fn wire<M>(topology: &mut Topology<M>, capacity: usize) -> Wiring<M> 
         receivers,
         expected_eos,
         edges_of,
+        counters,
     }
 }
 
@@ -850,7 +965,11 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
         mut receivers,
         expected_eos,
         edges_of,
+        counters,
     } = wire(&mut topology, capacity);
+    // One topology-wide recycler: spent batch vectors returned by consumers
+    // become the producers' next flush buffers.
+    let pool = policy.as_ref().map(|p| BatchPool::new(p.max_batch));
 
     // What each task thread reports back: (component, task, processed,
     // emitted, busy seconds).
@@ -872,10 +991,11 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                     let mut spout = factory(t);
                     let edges = edges_of[c].clone();
                     let policy = policy.clone();
+                    let pool = pool.clone();
                     identities.push((c, t));
                     handles.push(thread::spawn(move || {
                         let mut emitter =
-                            ThreadedEmitter::new(edges, t, policy.as_ref(), send_tries);
+                            ThreadedEmitter::new(edges, t, policy.as_ref(), send_tries, pool);
                         let mut produced = 0u64;
                         let start = Instant::now();
                         while let Some(msg) = spout.next() {
@@ -903,11 +1023,12 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                     };
                     let edges = edges_of[c].clone();
                     let policy = policy.clone();
+                    let pool = pool.clone();
                     let quota = expected_eos[c];
                     identities.push((c, t));
                     handles.push(thread::spawn(move || {
                         let mut emitter =
-                            ThreadedEmitter::new(edges, t, policy.as_ref(), send_tries);
+                            ThreadedEmitter::new(edges, t, policy.as_ref(), send_tries, pool);
                         let mut processed = 0u64;
                         let mut busy = std::time::Duration::ZERO;
                         let mut eos_seen = 0usize;
@@ -915,6 +1036,11 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                         let mut ctl_rx = ctl_rx;
                         let mut data_open = true;
                         let mut ctl_open = true;
+                        // Reused drain buffer: after `select!` yields one
+                        // data envelope, everything else already queued is
+                        // pulled with a single `recv_drain` synchronisation
+                        // point and processed in the same pass.
+                        let mut burst: Vec<Envelope<M>> = Vec::new();
                         // Eos travels only on data inboxes; control inboxes
                         // carry feedback messages until their senders drop.
                         // After the data side finishes, the loop keeps
@@ -924,6 +1050,27 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                         // terminate before sending them (they are triggered
                         // by data messages preceding its own Eos), so this
                         // wait always ends.
+                        // One data envelope's worth of work, shared by the
+                        // select arm and the post-select burst drain.
+                        macro_rules! handle_data_env {
+                            ($env:expr) => {
+                                match $env {
+                                    Envelope::Data(msg) => {
+                                        processed += 1;
+                                        let t0 = Instant::now();
+                                        bolt.on_message(msg, &mut emitter);
+                                        busy += t0.elapsed();
+                                    }
+                                    Envelope::Batch(msgs) => {
+                                        processed += msgs.len() as u64;
+                                        let t0 = Instant::now();
+                                        bolt.on_batch(msgs, &mut emitter);
+                                        busy += t0.elapsed();
+                                    }
+                                    Envelope::Eos => eos_seen += 1,
+                                }
+                            };
+                        }
                         loop {
                             let data_done = eos_seen >= quota || !data_open;
                             if data_done && (bolt.drained() || !ctl_open) {
@@ -931,19 +1078,16 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                             }
                             crossbeam::channel::select! {
                                 recv(data_rx) -> m => match m {
-                                    Ok(Envelope::Data(msg)) => {
-                                        processed += 1;
-                                        let t0 = Instant::now();
-                                        bolt.on_message(msg, &mut emitter);
-                                        busy += t0.elapsed();
+                                    Ok(env) => {
+                                        handle_data_env!(env);
+                                        // Pull the rest of the queued burst
+                                        // with one synchronisation point.
+                                        if data_rx.recv_drain(&mut burst, DRAIN_BURST) > 0 {
+                                            for env in burst.drain(..) {
+                                                handle_data_env!(env);
+                                            }
+                                        }
                                     }
-                                    Ok(Envelope::Batch(msgs)) => {
-                                        processed += msgs.len() as u64;
-                                        let t0 = Instant::now();
-                                        bolt.on_batch(msgs, &mut emitter);
-                                        busy += t0.elapsed();
-                                    }
-                                    Ok(Envelope::Eos) => eos_seen += 1,
                                     // park the disconnected side so the
                                     // select does not spin on its error
                                     Err(_) => {
@@ -996,6 +1140,8 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
         emitted: vec![0; n],
         busy_seconds: vec![0.0; n],
         task_busy_seconds: parallelism_of.iter().map(|&p| vec![0.0; p]).collect(),
+        channel_send_waits: vec![0; n],
+        channel_recv_waits: vec![0; n],
     };
     // Join every handle (so no thread is leaked) before reporting the first
     // failure, structured with the identity of the operator that died.
@@ -1019,6 +1165,14 @@ fn run_threaded_inner<M: Clone + Send + 'static>(
                     }));
                 }
             }
+        }
+    }
+    // Fold per-inbox transport contention into the per-component stats
+    // (the Arc'd counter handles outlive their channels).
+    for (c, task_counters) in counters.iter().enumerate() {
+        for (data, ctl) in task_counters {
+            stats.channel_send_waits[c] += data.send_waits() + ctl.send_waits();
+            stats.channel_recv_waits[c] += data.recv_waits() + ctl.recv_waits();
         }
     }
     match first_error {

@@ -161,6 +161,15 @@ pub trait Emitter<M> {
             self.emit_direct(stream, to, task, msg);
         }
     }
+
+    /// Hand a drained batch `Vec` back to the runtime for reuse. Components
+    /// that consume a batch in [`Bolt::on_batch`](crate::topology::Bolt) and
+    /// drop the vector can call this instead so the allocation cycles back
+    /// into the runtime's envelope pool. The default is a no-op; runtimes
+    /// without a pool simply let the vector drop.
+    fn recycle(&mut self, spent: Vec<M>) {
+        let _ = spent;
+    }
 }
 
 /// How tuples of one edge spread over the consumer's tasks.

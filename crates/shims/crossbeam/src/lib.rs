@@ -1,41 +1,36 @@
 //! Offline stand-in for the `crossbeam::channel` surface the threaded engine
-//! runtime uses: `bounded` / `unbounded` MPMC channels, `never`, and a
-//! polling `select!` macro.
+//! runtime uses: `bounded` / `unbounded` MPMC channels, `never`, and an
+//! event-driven `select!` macro.
 //!
-//! The build environment has no registry access, so this crate provides a
-//! Mutex + Condvar implementation with the same semantics the runtime
-//! depends on:
+//! The build environment has no registry access, so this crate provides the
+//! same semantics the runtime depends on:
 //!
 //! * bounded `send` blocks when the queue is full (backpressure) and fails
 //!   once every receiver is gone,
 //! * `recv`/`try_recv` report `Disconnected` only after the queue drains and
 //!   every sender is gone,
 //! * `select!` fires an arm when its channel has a message *or* is
-//!   disconnected (matching crossbeam), parking briefly between polls.
+//!   disconnected (matching crossbeam), sleeping on a registered wakeup —
+//!   not a poll loop — while no arm is ready.
 //!
-//! Throughput is lower than real crossbeam (a global lock per channel, and
-//! `select!` polls instead of registering wakeups), which is irrelevant at
-//! the message rates of the finite-stream experiment topologies.
+//! Internally the bounded flavour is a lock-free Vyukov-style MPMC ring
+//! (per-slot sequence numbers, one CAS per enqueue/dequeue ticket); only the
+//! unbounded flavour — used for low-rate control edges — keeps a mutexed
+//! queue. Batch endpoints ([`channel::Sender::send_many`],
+//! [`channel::Receiver::recv_drain`]) claim a whole run of ring slots with a
+//! single synchronisation point, so a burst of messages costs one CAS
+//! instead of one per message. Blocked endpoints park on per-channel wait
+//! sets and are woken exactly when a slot frees or a message arrives;
+//! per-channel wait counters ([`channel::ChannelCounters`]) record how often
+//! that happened so the engine can report transport contention.
 
 pub mod channel {
+    use std::cell::UnsafeCell;
     use std::collections::VecDeque;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
-    use std::time::Duration;
-
-    struct Inner<T> {
-        queue: VecDeque<T>,
-        senders: usize,
-        receivers: usize,
-    }
-
-    struct Core<T> {
-        inner: Mutex<Inner<T>>,
-        /// Signalled when queue space frees up or receivers disappear.
-        send_cv: Condvar,
-        /// Signalled when a message arrives or senders disappear.
-        recv_cv: Condvar,
-        capacity: Option<usize>,
-    }
+    use std::time::{Duration, Instant};
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -64,6 +59,424 @@ pub mod channel {
         Disconnected,
     }
 
+    // ------------------------------------------------------------------
+    // Wait counters
+    // ------------------------------------------------------------------
+
+    #[derive(Default)]
+    struct CountersInner {
+        send_waits: AtomicU64,
+        recv_waits: AtomicU64,
+    }
+
+    /// Shared handle onto a channel's contention counters: how many times a
+    /// sender parked because the ring was full (`send_waits`) and how many
+    /// times a receiver parked because it was empty (`recv_waits`). Cheap to
+    /// clone; stays readable after the channel endpoints are dropped.
+    #[derive(Clone, Default)]
+    pub struct ChannelCounters {
+        inner: Arc<CountersInner>,
+    }
+
+    impl ChannelCounters {
+        /// Times a sender blocked on a full channel.
+        pub fn send_waits(&self) -> u64 {
+            self.inner.send_waits.load(Ordering::Relaxed)
+        }
+
+        /// Times a receiver blocked on an empty channel (including `select!`
+        /// parks that observed this channel).
+        pub fn recv_waits(&self) -> u64 {
+            self.inner.recv_waits.load(Ordering::Relaxed)
+        }
+    }
+
+    impl std::fmt::Debug for ChannelCounters {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ChannelCounters")
+                .field("send_waits", &self.send_waits())
+                .field("recv_waits", &self.recv_waits())
+                .finish()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registered wakeups
+    // ------------------------------------------------------------------
+
+    /// One thread's parking token: a boolean under a mutex plus a condvar.
+    /// Reused across waits via a thread-local, so parking costs no
+    /// allocation on the steady path.
+    struct WakeSlot {
+        signalled: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl WakeSlot {
+        fn new() -> Arc<Self> {
+            Arc::new(WakeSlot {
+                signalled: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn prepare(&self) {
+            *self.signalled.lock().expect("wake slot poisoned") = false;
+        }
+
+        fn signal(&self) {
+            let mut s = self.signalled.lock().expect("wake slot poisoned");
+            *s = true;
+            // Notify while holding the lock: the waiter re-checks the flag
+            // under the same lock, so the wakeup cannot fall in the gap
+            // between its check and its sleep.
+            self.cv.notify_one();
+        }
+
+        fn wait(&self) {
+            let mut s = self.signalled.lock().expect("wake slot poisoned");
+            while !*s {
+                s = self.cv.wait(s).expect("wake slot poisoned");
+            }
+        }
+
+        /// Returns `true` when signalled, `false` on deadline expiry.
+        fn wait_deadline(&self, deadline: Instant) -> bool {
+            let mut s = self.signalled.lock().expect("wake slot poisoned");
+            while !*s {
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let (guard, _timeout) = self
+                    .cv
+                    .wait_timeout(s, deadline - now)
+                    .expect("wake slot poisoned");
+                s = guard;
+            }
+            true
+        }
+    }
+
+    thread_local! {
+        static LOCAL_SLOT: Arc<WakeSlot> = WakeSlot::new();
+    }
+
+    fn local_slot() -> Arc<WakeSlot> {
+        LOCAL_SLOT.with(Arc::clone)
+    }
+
+    /// A set of parked threads waiting on one channel event (space freed, or
+    /// message arrived). Wakers skip the whole structure with one atomic
+    /// load while nobody is parked.
+    ///
+    /// Lost-wakeup protocol (Dekker-style): a waiter *registers, fences,
+    /// then re-checks* the channel; a waker *publishes the event, fences,
+    /// then reads the waiter count*. The `SeqCst` fences on both sides
+    /// guarantee at least one of them observes the other, so a waiter never
+    /// sleeps through an event published concurrently with registration.
+    #[derive(Default)]
+    struct WaitSet {
+        waiters: AtomicUsize,
+        list: Mutex<Vec<Arc<WakeSlot>>>,
+    }
+
+    impl WaitSet {
+        fn register(&self, slot: &Arc<WakeSlot>) {
+            let mut list = self.list.lock().expect("wait set poisoned");
+            list.push(slot.clone());
+            self.waiters.store(list.len(), Ordering::Release);
+            drop(list);
+            fence(Ordering::SeqCst);
+        }
+
+        /// Remove `slot` from the set. If a waker already claimed it
+        /// (`slot` absent) and the caller did not consume the wakeup
+        /// (`consumed == false`), the token is passed to another waiter so
+        /// the underlying event is not lost.
+        fn cancel(&self, slot: &Arc<WakeSlot>, consumed: bool) {
+            let taken = {
+                let mut list = self.list.lock().expect("wait set poisoned");
+                match list.iter().position(|s| Arc::ptr_eq(s, slot)) {
+                    Some(i) => {
+                        list.swap_remove(i);
+                        self.waiters.store(list.len(), Ordering::Release);
+                        false
+                    }
+                    None => true,
+                }
+            };
+            if taken && !consumed {
+                self.wake_one();
+            }
+        }
+
+        fn wake_one(&self) {
+            if self.waiters.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let slot = {
+                let mut list = self.list.lock().expect("wait set poisoned");
+                let slot = if list.is_empty() {
+                    None
+                } else {
+                    Some(list.remove(0))
+                };
+                self.waiters.store(list.len(), Ordering::Release);
+                slot
+            };
+            if let Some(slot) = slot {
+                slot.signal();
+            }
+        }
+
+        fn wake_many(&self, n: usize) {
+            for _ in 0..n {
+                if self.waiters.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                self.wake_one();
+            }
+        }
+
+        fn wake_all(&self) {
+            if self.waiters.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let slots = {
+                let mut list = self.list.lock().expect("wait set poisoned");
+                self.waiters.store(0, Ordering::Release);
+                std::mem::take(&mut *list)
+            };
+            for slot in slots {
+                slot.signal();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded core: Vyukov-style MPMC ring
+    // ------------------------------------------------------------------
+
+    /// Pads the enqueue/dequeue cursors onto their own cache lines so
+    /// producers and consumers do not false-share.
+    #[repr(align(64))]
+    struct CachePadded<T>(T);
+
+    struct Slot<T> {
+        /// Ticket sequencing at stride 2: `seq == 2 * pos` means free for
+        /// the producer holding ticket `pos`; `seq == 2 * pos + 1` means
+        /// written and ready for the consumer holding ticket `pos`; after
+        /// consumption the slot is stamped `2 * (pos + cap)` — free for the
+        /// next lap. The stride keeps "written at ticket `pos`" distinct
+        /// from "free at ticket `pos + cap`" even when `cap == 1`, so exact
+        /// capacity-1 rings work (plain Vyukov sequencing conflates the two
+        /// there).
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    struct Ring<T> {
+        buf: Box<[Slot<T>]>,
+        cap: usize,
+        /// `cap - 1` when `cap` is a power of two (mask indexing), else 0
+        /// and indexing falls back to modulo. Capacity stays *exact* either
+        /// way — nothing is rounded up.
+        mask: usize,
+        head: CachePadded<AtomicUsize>,
+        tail: CachePadded<AtomicUsize>,
+    }
+
+    unsafe impl<T: Send> Send for Ring<T> {}
+    unsafe impl<T: Send> Sync for Ring<T> {}
+
+    impl<T> Ring<T> {
+        fn new(cap: usize) -> Self {
+            let cap = cap.max(1);
+            let buf: Box<[Slot<T>]> = (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i.wrapping_mul(2)),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            Ring {
+                buf,
+                cap,
+                mask: if cap.is_power_of_two() { cap - 1 } else { 0 },
+                head: CachePadded(AtomicUsize::new(0)),
+                tail: CachePadded(AtomicUsize::new(0)),
+            }
+        }
+
+        #[inline]
+        fn index(&self, pos: usize) -> usize {
+            if self.mask != 0 {
+                pos & self.mask
+            } else {
+                pos % self.cap
+            }
+        }
+
+        /// Claim up to `max` consecutive free slots with one CAS on the
+        /// enqueue cursor and fill them from `next`. Returns the number
+        /// pushed (0 when full). The pre-CAS readiness scan stays valid
+        /// after a successful CAS because slots are only ever touched by
+        /// the holder of their ticket.
+        fn try_push_with(&self, max: usize, mut next: impl FnMut() -> T) -> usize {
+            if max == 0 {
+                return 0;
+            }
+            loop {
+                let pos = self.head.0.load(Ordering::Relaxed);
+                let mut k = 0usize;
+                while k < max {
+                    let p = pos.wrapping_add(k);
+                    if self.buf[self.index(p)].seq.load(Ordering::Acquire) != p.wrapping_mul(2) {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k == 0 {
+                    let seq = self.buf[self.index(pos)].seq.load(Ordering::Acquire);
+                    if (seq as isize).wrapping_sub(pos.wrapping_mul(2) as isize) < 0 {
+                        return 0; // genuinely full for ticket `pos`
+                    }
+                    continue; // cursor was stale; reload and rescan
+                }
+                if self
+                    .head
+                    .0
+                    .compare_exchange(
+                        pos,
+                        pos.wrapping_add(k),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    for j in 0..k {
+                        let p = pos.wrapping_add(j);
+                        let slot = &self.buf[self.index(p)];
+                        unsafe { (*slot.value.get()).write(next()) };
+                        slot.seq
+                            .store(p.wrapping_mul(2).wrapping_add(1), Ordering::Release);
+                    }
+                    return k;
+                }
+            }
+        }
+
+        /// Claim up to `max` consecutive ready slots with one CAS on the
+        /// dequeue cursor and hand their values to `sink`. Returns the
+        /// number popped (0 when empty).
+        fn try_pop_with(&self, max: usize, mut sink: impl FnMut(T)) -> usize {
+            if max == 0 {
+                return 0;
+            }
+            loop {
+                let pos = self.tail.0.load(Ordering::Relaxed);
+                let mut k = 0usize;
+                while k < max {
+                    let p = pos.wrapping_add(k);
+                    let ready = p.wrapping_mul(2).wrapping_add(1);
+                    if self.buf[self.index(p)].seq.load(Ordering::Acquire) != ready {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k == 0 {
+                    let seq = self.buf[self.index(pos)].seq.load(Ordering::Acquire);
+                    let ready = pos.wrapping_mul(2).wrapping_add(1);
+                    if (seq as isize).wrapping_sub(ready as isize) < 0 {
+                        return 0; // empty for ticket `pos`
+                    }
+                    continue; // cursor was stale; reload and rescan
+                }
+                if self
+                    .tail
+                    .0
+                    .compare_exchange(
+                        pos,
+                        pos.wrapping_add(k),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    for j in 0..k {
+                        let p = pos.wrapping_add(j);
+                        let slot = &self.buf[self.index(p)];
+                        let v = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(p.wrapping_add(self.cap).wrapping_mul(2), Ordering::Release);
+                        sink(v);
+                    }
+                    return k;
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Ring<T> {
+        fn drop(&mut self) {
+            // Sole owner at this point; release any undelivered values.
+            while self.try_pop_with(self.cap, drop) > 0 {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Channel core
+    // ------------------------------------------------------------------
+
+    enum Flavor<T> {
+        /// Bounded data edges: lock-free ring.
+        Ring(Ring<T>),
+        /// Unbounded control edges: mutexed queue (low-rate; the mutex is
+        /// not a bottleneck there and keeps the queue growable).
+        List(Mutex<VecDeque<T>>),
+    }
+
+    struct Core<T> {
+        flavor: Flavor<T>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// Bumped on every receiver-visible event (message published,
+        /// senders disconnected); `select!` snapshots it before polling and
+        /// re-checks after registering, closing the observe→park window.
+        recv_events: AtomicUsize,
+        recv_waiters: WaitSet,
+        send_waiters: WaitSet,
+        counters: ChannelCounters,
+    }
+
+    impl<T> Core<T> {
+        /// Publish-side wakeups after `n` messages land.
+        fn after_push(&self, n: usize) {
+            self.recv_events.fetch_add(1, Ordering::Release);
+            fence(Ordering::SeqCst);
+            self.recv_waiters.wake_many(n);
+        }
+
+        /// Space-side wakeups after `n` messages leave a bounded ring.
+        fn after_pop(&self, n: usize) {
+            if matches!(self.flavor, Flavor::Ring(_)) {
+                fence(Ordering::SeqCst);
+                self.send_waiters.wake_many(n);
+            }
+        }
+
+        fn pop_one(&self) -> Option<T> {
+            match &self.flavor {
+                Flavor::Ring(ring) => {
+                    let mut out = None;
+                    ring.try_pop_with(1, |v| out = Some(v));
+                    out
+                }
+                Flavor::List(q) => q.lock().expect("channel poisoned").pop_front(),
+            }
+        }
+    }
+
     /// The sending half of a channel.
     pub struct Sender<T> {
         core: Arc<Core<T>>,
@@ -77,22 +490,70 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Queue `msg`, blocking while a bounded channel is at capacity.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            let mut inner = self.core.inner.lock().expect("channel poisoned");
-            loop {
-                if inner.receivers == 0 {
-                    return Err(SendError(msg));
-                }
-                match self.core.capacity {
-                    Some(cap) if inner.queue.len() >= cap => {
-                        inner = self.core.send_cv.wait(inner).expect("channel poisoned");
-                    }
-                    _ => break,
+            match self.send_inner(msg, None) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Disconnected(v)) | Err(TrySendError::Full(v)) => {
+                    Err(SendError(v))
                 }
             }
-            inner.queue.push_back(msg);
-            drop(inner);
-            self.core.recv_cv.notify_one();
-            Ok(())
+        }
+
+        /// Like [`Sender::send`] but gives up with [`TrySendError::Full`]
+        /// once `timeout` elapses without space freeing up. A wedged
+        /// downstream costs one wait-set registration per wakeup, not a
+        /// retry loop over the channel lock.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), TrySendError<T>> {
+            self.send_inner(msg, Some(Instant::now() + timeout))
+        }
+
+        fn send_inner(&self, msg: T, deadline: Option<Instant>) -> Result<(), TrySendError<T>> {
+            let mut msg = match self.try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(TrySendError::Disconnected(v)),
+                Err(TrySendError::Full(v)) => v,
+            };
+            let slot = local_slot();
+            loop {
+                slot.prepare();
+                self.core.send_waiters.register(&slot);
+                // Re-check after registering: a slot freed in the gap would
+                // otherwise be a lost wakeup.
+                msg = match self.try_send(msg) {
+                    Ok(()) => {
+                        self.core.send_waiters.cancel(&slot, false);
+                        return Ok(());
+                    }
+                    Err(TrySendError::Disconnected(v)) => {
+                        self.core.send_waiters.cancel(&slot, false);
+                        return Err(TrySendError::Disconnected(v));
+                    }
+                    Err(TrySendError::Full(v)) => v,
+                };
+                self.core
+                    .counters
+                    .inner
+                    .send_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                let woken = match deadline {
+                    None => {
+                        slot.wait();
+                        true
+                    }
+                    Some(d) => slot.wait_deadline(d),
+                };
+                self.core.send_waiters.cancel(&slot, woken);
+                if !woken {
+                    // Deadline expired; one last attempt, then report Full.
+                    return self.try_send(msg);
+                }
+                msg = match self.try_send(msg) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(v)) => {
+                        return Err(TrySendError::Disconnected(v))
+                    }
+                    Err(TrySendError::Full(v)) => v,
+                };
+            }
         }
 
         /// Queue `msg` without blocking: fails with [`TrySendError::Full`]
@@ -100,25 +561,93 @@ pub mod channel {
         /// message and decides whether to retry), and with
         /// [`TrySendError::Disconnected`] once every receiver is gone.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-            let mut inner = self.core.inner.lock().expect("channel poisoned");
-            if inner.receivers == 0 {
+            let core = &*self.core;
+            if core.receivers.load(Ordering::Acquire) == 0 {
                 return Err(TrySendError::Disconnected(msg));
             }
-            if let Some(cap) = self.core.capacity {
-                if inner.queue.len() >= cap {
-                    return Err(TrySendError::Full(msg));
+            match &core.flavor {
+                Flavor::Ring(ring) => {
+                    let mut msg = Some(msg);
+                    if ring.try_push_with(1, || msg.take().expect("single push")) == 1 {
+                        core.after_push(1);
+                        Ok(())
+                    } else {
+                        Err(TrySendError::Full(msg.take().expect("push declined")))
+                    }
+                }
+                Flavor::List(q) => {
+                    q.lock().expect("channel poisoned").push_back(msg);
+                    core.after_push(1);
+                    Ok(())
                 }
             }
-            inner.queue.push_back(msg);
-            drop(inner);
-            self.core.recv_cv.notify_one();
-            Ok(())
+        }
+
+        /// Send every message in `batch`, blocking for space as needed.
+        /// Whole runs of free ring slots are claimed with a single CAS, so
+        /// a burst costs one synchronisation point instead of one per
+        /// message. On disconnect the unsent tail comes back in the error.
+        pub fn send_many(&self, batch: Vec<T>) -> Result<(), SendError<Vec<T>>> {
+            let core = &*self.core;
+            let mut iter = batch.into_iter();
+            let slot = local_slot();
+            loop {
+                let remaining = iter.len();
+                if remaining == 0 {
+                    return Ok(());
+                }
+                if core.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(iter.collect()));
+                }
+                let pushed = match &core.flavor {
+                    Flavor::Ring(ring) => {
+                        ring.try_push_with(remaining, || iter.next().expect("claimed run"))
+                    }
+                    Flavor::List(q) => {
+                        q.lock().expect("channel poisoned").extend(iter.by_ref());
+                        remaining
+                    }
+                };
+                if pushed > 0 {
+                    core.after_push(pushed);
+                    continue;
+                }
+                // Ring full: park until space frees (same protocol as send).
+                slot.prepare();
+                core.send_waiters.register(&slot);
+                let retry = match &core.flavor {
+                    Flavor::Ring(ring) => {
+                        ring.try_push_with(iter.len(), || iter.next().expect("claimed run"))
+                    }
+                    Flavor::List(_) => unreachable!("lists never fill"),
+                };
+                if retry > 0 {
+                    core.send_waiters.cancel(&slot, false);
+                    core.after_push(retry);
+                    continue;
+                }
+                if core.receivers.load(Ordering::Acquire) == 0 {
+                    core.send_waiters.cancel(&slot, false);
+                    return Err(SendError(iter.collect()));
+                }
+                core.counters
+                    .inner
+                    .send_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                slot.wait();
+                core.send_waiters.cancel(&slot, true);
+            }
+        }
+
+        /// Contention counters for this channel.
+        pub fn counters(&self) -> ChannelCounters {
+            self.core.counters.clone()
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.core.inner.lock().expect("channel poisoned").senders += 1;
+            self.core.senders.fetch_add(1, Ordering::AcqRel);
             Sender {
                 core: self.core.clone(),
             }
@@ -127,13 +656,12 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let remaining = {
-                let mut inner = self.core.inner.lock().expect("channel poisoned");
-                inner.senders -= 1;
-                inner.senders
-            };
-            if remaining == 0 {
-                self.core.recv_cv.notify_all();
+            if self.core.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake every parked receiver so it observes
+                // the disconnect (after draining what remains).
+                self.core.recv_events.fetch_add(1, Ordering::Release);
+                fence(Ordering::SeqCst);
+                self.core.recv_waiters.wake_all();
             }
         }
     }
@@ -142,17 +670,37 @@ pub mod channel {
         /// Block until a message arrives or the channel disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
             let core = self.core.as_ref().ok_or(RecvError)?;
-            let mut inner = core.inner.lock().expect("channel poisoned");
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {}
+            }
+            let slot = local_slot();
             loop {
-                if let Some(msg) = inner.queue.pop_front() {
-                    drop(inner);
-                    core.send_cv.notify_one();
-                    return Ok(msg);
+                slot.prepare();
+                core.recv_waiters.register(&slot);
+                match self.try_recv() {
+                    Ok(v) => {
+                        core.recv_waiters.cancel(&slot, false);
+                        return Ok(v);
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        core.recv_waiters.cancel(&slot, false);
+                        return Err(RecvError);
+                    }
+                    Err(TryRecvError::Empty) => {}
                 }
-                if inner.senders == 0 {
-                    return Err(RecvError);
+                core.counters
+                    .inner
+                    .recv_waits
+                    .fetch_add(1, Ordering::Relaxed);
+                slot.wait();
+                core.recv_waiters.cancel(&slot, true);
+                match self.try_recv() {
+                    Ok(v) => return Ok(v),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => {}
                 }
-                inner = core.recv_cv.wait(inner).expect("channel poisoned");
             }
         }
 
@@ -162,16 +710,74 @@ pub mod channel {
                 // `never()` is permanently pending, not disconnected
                 return Err(TryRecvError::Empty);
             };
-            let mut inner = core.inner.lock().expect("channel poisoned");
-            if let Some(msg) = inner.queue.pop_front() {
-                drop(inner);
-                core.send_cv.notify_one();
-                return Ok(msg);
+            if let Some(v) = core.pop_one() {
+                core.after_pop(1);
+                return Ok(v);
             }
-            if inner.senders == 0 {
-                Err(TryRecvError::Disconnected)
+            if core.senders.load(Ordering::Acquire) == 0 {
+                // Messages published before the last sender detached are
+                // visible after that Acquire load; one more pop settles it.
+                match core.pop_one() {
+                    Some(v) => {
+                        core.after_pop(1);
+                        Ok(v)
+                    }
+                    None => Err(TryRecvError::Disconnected),
+                }
             } else {
                 Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Pop up to `max` ready messages with one synchronisation point,
+        /// appending them to `out`. Returns how many were moved; never
+        /// blocks and never reports disconnection (pair with
+        /// [`Receiver::try_recv`] / `select!` for that).
+        pub fn recv_drain(&self, out: &mut Vec<T>, max: usize) -> usize {
+            let Some(core) = self.core.as_ref() else {
+                return 0;
+            };
+            let n = match &core.flavor {
+                Flavor::Ring(ring) => ring.try_pop_with(max, |v| out.push(v)),
+                Flavor::List(q) => {
+                    let mut q = q.lock().expect("channel poisoned");
+                    let n = max.min(q.len());
+                    out.extend(q.drain(..n));
+                    n
+                }
+            };
+            if n > 0 {
+                core.after_pop(n);
+            }
+            n
+        }
+
+        /// Contention counters for this channel (zeroes for `never()`).
+        pub fn counters(&self) -> ChannelCounters {
+            match &self.core {
+                Some(core) => core.counters.clone(),
+                None => ChannelCounters::default(),
+            }
+        }
+
+        /// Snapshot this receiver's readiness-event counter; taken by
+        /// `select!` *before* polling so a message landing between the poll
+        /// and the park is detected by [`select_wait`]'s re-check.
+        #[doc(hidden)]
+        pub fn observe(&self) -> Observation<'_> {
+            match &self.core {
+                Some(core) => Observation {
+                    events: Some(&core.recv_events),
+                    seen: core.recv_events.load(Ordering::Acquire),
+                    waitset: Some(&core.recv_waiters),
+                    waits: Some(&core.counters.inner.recv_waits),
+                },
+                None => Observation {
+                    events: None,
+                    seen: 0,
+                    waitset: None,
+                    waits: None,
+                },
             }
         }
     }
@@ -179,7 +785,7 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             if let Some(core) = &self.core {
-                core.inner.lock().expect("channel poisoned").receivers += 1;
+                core.receivers.fetch_add(1, Ordering::AcqRel);
             }
             Receiver {
                 core: self.core.clone(),
@@ -190,41 +796,37 @@ pub mod channel {
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             if let Some(core) = &self.core {
-                let remaining = {
-                    let mut inner = core.inner.lock().expect("channel poisoned");
-                    inner.receivers -= 1;
-                    inner.receivers
-                };
-                if remaining == 0 {
-                    // unblock senders so they observe the disconnect
-                    core.send_cv.notify_all();
+                if core.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last receiver: unblock senders so they observe the
+                    // disconnect.
+                    fence(Ordering::SeqCst);
+                    core.send_waiters.wake_all();
                 }
             }
         }
     }
 
-    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    fn with_flavor<T>(flavor: Flavor<T>) -> (Sender<T>, Receiver<T>) {
         let core = Arc::new(Core {
-            inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                senders: 1,
-                receivers: 1,
-            }),
-            send_cv: Condvar::new(),
-            recv_cv: Condvar::new(),
-            capacity,
+            flavor,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            recv_events: AtomicUsize::new(0),
+            recv_waiters: WaitSet::default(),
+            send_waiters: WaitSet::default(),
+            counters: ChannelCounters::default(),
         });
         (Sender { core: core.clone() }, Receiver { core: Some(core) })
     }
 
     /// A channel whose `send` blocks once `cap` messages are queued.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        with_capacity(Some(cap.max(1)))
+        with_flavor(Flavor::Ring(Ring::new(cap)))
     }
 
     /// A channel with an unbounded queue.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        with_capacity(None)
+        with_flavor(Flavor::List(Mutex::new(VecDeque::new())))
     }
 
     /// A receiver that is never ready (used to park a `select!` arm).
@@ -232,10 +834,57 @@ pub mod channel {
         Receiver { core: None }
     }
 
-    /// Back-off between `select!` polls when no arm is ready.
+    /// Per-arm snapshot used by `select!` to park race-free: the event
+    /// counter reading from before the poll plus the wait set to register
+    /// on. Non-generic so arms of different message types share one array.
     #[doc(hidden)]
-    pub fn park_briefly() {
-        std::thread::sleep(Duration::from_micros(50));
+    pub struct Observation<'a> {
+        events: Option<&'a AtomicUsize>,
+        seen: usize,
+        waitset: Option<&'a WaitSet>,
+        waits: Option<&'a AtomicU64>,
+    }
+
+    /// Park until any observed channel reports a readiness event that
+    /// post-dates its observation. Registers one wake slot with every arm's
+    /// wait set, re-checks the event counters (events landing between the
+    /// poll and the registration are caught here), then sleeps.
+    #[doc(hidden)]
+    pub fn select_wait(obs: &[Observation<'_>]) {
+        let slot = local_slot();
+        slot.prepare();
+        let mut registered = false;
+        for o in obs {
+            if let Some(ws) = o.waitset {
+                ws.register(&slot);
+                registered = true;
+            }
+        }
+        if !registered {
+            // Every arm is `never()`: no event can ever wake us, so yield
+            // briefly in case the caller loops on external state.
+            std::thread::sleep(Duration::from_micros(50));
+            return;
+        }
+        let changed = obs.iter().any(|o| match o.events {
+            Some(e) => e.load(Ordering::Acquire) != o.seen,
+            None => false,
+        });
+        if !changed {
+            for o in obs {
+                if let Some(w) = o.waits {
+                    w.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            slot.wait();
+        }
+        for o in obs {
+            if let Some(ws) = o.waitset {
+                // `consumed = false`: if a waker claimed this slot, hand the
+                // token to another waiter on that channel.
+                ws.cancel(&slot, false);
+            }
+        }
     }
 
     /// Typed `Err(RecvError)` constructor for the `select!` expansion (ties
@@ -248,15 +897,18 @@ pub mod channel {
     pub use crate::select;
 }
 
-/// Polling `select!` over `recv(rx) -> msg => body` arms.
+/// Event-driven `select!` over `recv(rx) -> msg => body` arms.
 ///
 /// An arm fires when its channel yields a message (`msg` = `Ok(v)`) or is
 /// disconnected (`msg` = `Err(RecvError)`), matching crossbeam's semantics.
-/// `never()` receivers are permanently pending.
+/// `never()` receivers are permanently pending. While no arm is ready the
+/// calling thread parks on a wake slot registered with every arm's channel
+/// and is woken by the next send or disconnect — there is no polling loop.
 #[macro_export]
 macro_rules! select {
     ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
         'select: loop {
+            let __obs = [$( $rx.observe() ),+];
             $(
                 match $rx.try_recv() {
                     Ok(__v) => {
@@ -281,7 +933,7 @@ macro_rules! select {
                     Err($crate::channel::TryRecvError::Empty) => {}
                 }
             )+
-            $crate::channel::park_briefly();
+            $crate::channel::select_wait(&__obs);
         }
     }};
 }
@@ -290,6 +942,7 @@ macro_rules! select {
 mod tests {
     use super::channel::{bounded, never, unbounded, TryRecvError, TrySendError};
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn try_send_reports_full_and_disconnected_without_blocking() {
@@ -335,6 +988,57 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn send_timeout_gives_up_on_a_full_channel() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        match tx.send_timeout(2, Duration::from_millis(5)) {
+            Err(TrySendError::Full(2)) => {}
+            other => panic!("expected Full(2), got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.send_timeout(3, Duration::from_millis(5)), Ok(()));
+        drop(rx);
+        match tx.send_timeout(4, Duration::from_millis(5)) {
+            Err(TrySendError::Disconnected(4)) => {}
+            other => panic!("expected Disconnected(4), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_endpoints_roundtrip() {
+        // send_many pushes a 100-element burst through a 4-slot ring while a
+        // consumer drains; order and content must survive, and the producer
+        // must block (not fail) whenever the ring is full.
+        let (tx, rx) = bounded(4);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                if rx.recv_drain(&mut got, 64) == 0 {
+                    match rx.try_recv() {
+                        Ok(v) => got.push(v),
+                        Err(TryRecvError::Disconnected) => break,
+                        Err(TryRecvError::Empty) => thread::sleep(Duration::from_micros(20)),
+                    }
+                }
+            }
+            got
+        });
+        tx.send_many((0..100).collect()).unwrap();
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn send_many_reports_disconnect_with_the_unsent_tail() {
+        let (tx, rx) = bounded::<i32>(4);
+        drop(rx);
+        match tx.send_many(vec![1, 2, 3]) {
+            Err(super::channel::SendError(tail)) => assert_eq!(tail, vec![1, 2, 3]),
+            Ok(()) => panic!("send_many must fail with no receivers"),
+        }
     }
 
     #[test]

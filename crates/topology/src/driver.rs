@@ -233,6 +233,12 @@ pub struct ExperimentConfig {
     /// restart policy, starvation patience. `None` (the default) runs the
     /// bare runtime with no supervision wrappers at all.
     pub supervision: Option<Supervision>,
+    /// Bolt inbox capacity override in messages (threaded mode only;
+    /// `None` keeps [`ThreadedConfig::default`]'s 1024). Small values force
+    /// constant backpressure through the transport's ring buffers — the
+    /// high-contention equivalence suites pin determinism under exactly
+    /// that regime. Sim runs ignore it.
+    pub inbox_capacity: Option<usize>,
 }
 
 /// A partition map (with its §7.2 reference quality) pinned at Disseminator
@@ -268,6 +274,7 @@ impl Default for ExperimentConfig {
             parsers: 1,
             pinned_partitions: None,
             supervision: None,
+            inbox_capacity: None,
         }
     }
 }
@@ -313,6 +320,14 @@ impl ExperimentConfig {
     /// This config with a pre-installed partition map (skips bootstrap).
     pub fn with_pinned_partitions(mut self, pinned: PinnedPartitions) -> Self {
         self.pinned_partitions = Some(Arc::new(pinned));
+        self
+    }
+
+    /// This config with a forced bolt inbox capacity (threaded mode only).
+    /// Small capacities keep every data channel saturated, turning any
+    /// transport-level reordering race into an equivalence failure.
+    pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
+        self.inbox_capacity = Some(capacity);
         self
     }
 
@@ -681,25 +696,32 @@ fn run_with_publisher(
         .map(|s| s.to_string())
         .collect();
     let mut supervised: Option<SupervisedStats> = None;
-    let (documents, busy) = match mode {
+    let (documents, busy, waits) = match mode {
         RunMode::Sim => {
             let stats = run_sim_batched(topology, batch_policy());
-            (stats.processed[1], None) // parser input = documents
+            (stats.processed[1], None, None) // parser input = documents
         }
         RunMode::Threaded => match &config.supervision {
             None => {
-                let stats =
-                    run_threaded_batched(topology, ThreadedConfig::default(), batch_policy());
+                let mut threaded = ThreadedConfig::default();
+                if let Some(capacity) = config.inbox_capacity {
+                    threaded.inbox_capacity = capacity;
+                }
+                let stats = run_threaded_batched(topology, threaded, batch_policy());
                 (
                     stats.processed[1],
                     Some((stats.busy_seconds, stats.task_busy_seconds)),
+                    Some((stats.channel_send_waits, stats.channel_recv_waits)),
                 )
             }
             Some(sup) => {
-                let threaded = ThreadedConfig {
+                let mut threaded = ThreadedConfig {
                     send_tries: sup.send_tries,
                     ..ThreadedConfig::default()
                 };
+                if let Some(capacity) = config.inbox_capacity {
+                    threaded.inbox_capacity = capacity;
+                }
                 // Runtime-level faults; PoisonLock is armed inside the bolt
                 // (see `build_served_topology`) and surfaces to the
                 // supervisor as an injected panic like the others.
@@ -767,8 +789,12 @@ fn run_with_publisher(
                     stats.stats.busy_seconds.clone(),
                     stats.stats.task_busy_seconds.clone(),
                 );
+                let waits = (
+                    stats.stats.channel_send_waits.clone(),
+                    stats.stats.channel_recv_waits.clone(),
+                );
                 supervised = Some(stats);
-                (documents, Some(busy))
+                (documents, Some(busy), Some(waits))
             }
         },
     };
@@ -783,6 +809,14 @@ fn run_with_publisher(
         &rec,
     );
     report.backend = config.backend.name().to_string();
+    if let Some((send_waits, recv_waits)) = waits {
+        report.channel_waits = names
+            .iter()
+            .cloned()
+            .zip(send_waits.into_iter().zip(recv_waits))
+            .map(|(name, (s, r))| (name, s, r))
+            .collect();
+    }
     if let Some((busy, per_task)) = busy {
         // per-instance attribution aggregates into the per-component total:
         // `operator_seconds[c]` is the sum of `operator_task_seconds[c]`

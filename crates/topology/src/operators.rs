@@ -99,9 +99,9 @@ impl Bolt<Msg> for ParserBolt {
     /// Ticks are rare (one per report period); when one cuts the batch, the
     /// tagsets gathered so far flush *first* so the tick keeps its FIFO
     /// position behind the round it closes.
-    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+    fn on_batch(&mut self, mut msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
         let mut tagsets: Vec<Msg> = Vec::with_capacity(msgs.len());
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             let Msg::Doc(doc) = msg else { continue };
             while doc.timestamp.millis() >= (self.round + 1) * self.report_period.millis() {
                 if !tagsets.is_empty() {
@@ -126,6 +126,7 @@ impl Bolt<Msg> for ParserBolt {
         if !tagsets.is_empty() {
             out.emit_batch("tagsets", tagsets);
         }
+        out.recycle(msgs);
     }
 
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
@@ -240,13 +241,14 @@ impl Bolt<Msg> for PartitionerBolt {
     /// Vectorized path: window inserts straight off the batch, one dispatch
     /// for the whole envelope. Control messages (repartition requests are
     /// barriers and normally arrive alone) fall through to `on_message`.
-    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
-        for msg in msgs {
+    fn on_batch(&mut self, mut msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs.drain(..) {
             match msg {
                 Msg::TagSet { time, tags } => self.window.insert(tags, time),
                 other => self.on_message(other, out),
             }
         }
+        out.recycle(msgs);
     }
 }
 
@@ -638,8 +640,8 @@ impl Bolt<Msg> for DisseminatorBolt {
     /// (possible only in hand-built batches — the runtimes treat them as
     /// barriers) first flush the groups, so per-Calculator order is
     /// identical to per-tuple delivery.
-    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
-        for msg in msgs {
+    fn on_batch(&mut self, mut msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs.drain(..) {
             match msg {
                 Msg::TagSet { time, tags } => {
                     if self.dissem.has_partitions() {
@@ -664,6 +666,7 @@ impl Bolt<Msg> for DisseminatorBolt {
             }
         }
         self.flush_notif_batch(out);
+        out.recycle(msgs);
     }
 
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
@@ -1171,14 +1174,15 @@ impl Bolt<Msg> for CalculatorBolt {
     /// non-notification message fall back to the per-message protocol path
     /// (flushing the aggregate first, so ticks and fences always see the
     /// evidence that preceded them).
-    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+    fn on_batch(&mut self, mut msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
         if !self.calc.count_weighted() {
-            for msg in msgs {
+            for msg in msgs.drain(..) {
                 self.on_message(msg, out);
             }
+            out.recycle(msgs);
             return;
         }
-        for msg in msgs {
+        for msg in msgs.drain(..) {
             if self.awaiting_adopts() {
                 // barrier opened mid-batch: the aggregate was flushed before
                 // the fence was handled; the rest buffers per message
@@ -1197,6 +1201,7 @@ impl Bolt<Msg> for CalculatorBolt {
             }
         }
         self.flush_batch_counts();
+        out.recycle(msgs);
     }
 
     fn on_flush(&mut self, out: &mut dyn Emitter<Msg>) {
@@ -1323,10 +1328,11 @@ impl Bolt<Msg> for DegradedCalculator {
         }
     }
 
-    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
-        for msg in msgs {
+    fn on_batch(&mut self, mut msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs.drain(..) {
             self.on_message(msg, out);
         }
+        out.recycle(msgs);
     }
 }
 
@@ -1557,13 +1563,14 @@ impl Bolt<Msg> for BaselineBolt {
     /// Vectorized path: tagsets straight off the batch, one dispatch per
     /// envelope (ticks arrive unbatched and close the round via
     /// `on_message`).
-    fn on_batch(&mut self, msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
-        for msg in msgs {
+    fn on_batch(&mut self, mut msgs: Vec<Msg>, out: &mut dyn Emitter<Msg>) {
+        for msg in msgs.drain(..) {
             match msg {
                 Msg::TagSet { time, tags } => self.admit_tagset(time, tags),
                 other => self.on_message(other, out),
             }
         }
+        out.recycle(msgs);
     }
 
     fn on_flush(&mut self, _out: &mut dyn Emitter<Msg>) {

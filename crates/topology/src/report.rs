@@ -110,6 +110,14 @@ pub struct RunReport {
     /// Supervised runtime: bounded-enqueue send timeouts that fired (0
     /// unless a send-timeout budget was configured).
     pub send_timeouts: u64,
+    /// Per-component channel wait counters `(component, send_waits,
+    /// recv_waits)` in declaration order (threaded runs only; empty for
+    /// sim). `send_waits` counts blocking waits on the component's
+    /// *outbound* sends (backpressure from full downstream inboxes);
+    /// `recv_waits` counts parks on its own inboxes (idle waiting for
+    /// input). Together they say which side of each channel was the
+    /// bottleneck during the run.
+    pub channel_waits: Vec<(String, u64, u64)>,
 }
 
 /// Sightings filter for the accuracy comparison: the baseline "considers
@@ -190,6 +198,7 @@ impl RunReport {
             rounds_replayed: 0,
             degraded_components: 0,
             send_timeouts: 0,
+            channel_waits: Vec::new(),
         }
     }
 
@@ -321,6 +330,20 @@ impl RunReport {
                 out.push_str(&format!("{secs:.4}"));
             }
             out.push(']');
+        }
+        out.push('}');
+        out.push(',');
+        out.push_str("\"channel_waits\":{");
+        for (i, (name, send_waits, recv_waits)) in self.channel_waits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push_str(":{\"send\":");
+            out.push_str(&send_waits.to_string());
+            out.push_str(",\"recv\":");
+            out.push_str(&recv_waits.to_string());
+            out.push('}');
         }
         out.push('}');
         out.push('}');
